@@ -1,0 +1,130 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// subcommand runs one experiment at a configurable scale and prints the
+// corresponding table; "all" runs the full evaluation.
+//
+// Usage:
+//
+//	experiments [flags] {fig6|fig7|fig8|tab1|tab2|tab3|fig9|fig10|fig11|all}
+//
+// Flags scale the workloads; the defaults complete in minutes on a laptop,
+// --full approaches the paper's scale (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		full = flag.Bool("full", false, "run at (close to) the paper's scale")
+		n    = flag.Int("n", 0, "override the XPE count of table-size experiments")
+		seed = flag.Int64("seed", 0, "override the workload seed")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] {fig6|fig7|fig8|tab1|tab2|tab3|fig9|fig10|fig11|all}\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	scaleN := 6000
+	netSubs, netDocs := 250, 50
+	if *full {
+		// 20,000 is the practical ceiling of the embedded corpora's query
+		// space for the low-overlap set; see EXPERIMENTS.md on scale.
+		scaleN = 20000
+		netSubs, netDocs = 1000, 50
+	}
+	if *n > 0 {
+		scaleN = *n
+	}
+
+	runners := map[string]func() error{
+		"fig6": func() error {
+			res, err := experiment.RunFig6(experiment.Fig6Options{N: scaleN, Seed: *seed})
+			return show(res, err)
+		},
+		"fig7": func() error {
+			res, err := experiment.RunFig7(experiment.Fig7Options{N: scaleN, Seed: *seed})
+			return show(res, err)
+		},
+		"fig8": func() error {
+			res, err := experiment.RunFig8(experiment.Fig8Options{Seed: *seed})
+			return show(res, err)
+		},
+		"tab1": func() error {
+			res, err := experiment.RunTable1(experiment.Table1Options{N: scaleN, Seed: *seed})
+			return show(res, err)
+		},
+		"tab2": func() error {
+			res, err := experiment.RunNetwork(experiment.NetworkOptions{
+				Levels: 3, SubsPerSubscriber: netSubs, Docs: netDocs, Seed: *seed,
+			})
+			return show(res, err)
+		},
+		"tab3": func() error {
+			subs := netSubs
+			if !*full && subs > 100 {
+				subs = 100 // 64 subscribers; keep the default run snappy
+			}
+			res, err := experiment.RunNetwork(experiment.NetworkOptions{
+				Levels: 7, SubsPerSubscriber: subs, Docs: netDocs / 5, Seed: *seed,
+			})
+			return show(res, err)
+		},
+		"fig9": func() error {
+			res, err := experiment.RunFig9(experiment.Fig9Options{Seed: *seed})
+			return show(res, err)
+		},
+		"fig10": func() error {
+			res, err := experiment.RunFig10(experiment.DelayOptions{Seed: *seed})
+			return show(res, err)
+		},
+		"fig11": func() error {
+			res, err := experiment.RunFig11(experiment.DelayOptions{Seed: *seed})
+			return show(res, err)
+		},
+	}
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, id := range []string{"fig6", "fig7", "fig8", "tab1", "tab2", "tab3", "fig9", "fig10", "fig11"} {
+			start := time.Now()
+			fmt.Printf("=== %s ===\n", id)
+			if err := runners[id](); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+	run, ok := runners[name]
+	if !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+// tabler is any experiment result that renders as a table.
+type tabler interface{ Table() *experiment.Table }
+
+func show(res tabler, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}

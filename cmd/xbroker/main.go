@@ -1,0 +1,99 @@
+// Command xbroker runs one content-based XML router over TCP — the
+// deployable broker of the dissemination network.
+//
+// Example 3-broker chain on one machine:
+//
+//	xbroker -id b1 -listen :7001 -neighbors b2=localhost:7002
+//	xbroker -id b2 -listen :7002 -neighbors b1=localhost:7001,b3=localhost:7003
+//	xbroker -id b3 -listen :7003 -neighbors b2=localhost:7002
+//
+// Strategy flags select the paper's routing optimisations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		id        = flag.String("id", "b1", "broker identifier")
+		listen    = flag.String("listen", ":7001", "TCP listen address")
+		neighbors = flag.String("neighbors", "", "comma-separated id=addr neighbour list")
+		useAdv    = flag.Bool("adv", true, "advertisement-based subscription routing")
+		useCov    = flag.Bool("cov", true, "covering-based table compaction")
+		merging   = flag.String("merge", "off", "merging mode: off|perfect|imperfect")
+		degree    = flag.Float64("degree", 0.1, "imperfect-merging degree tolerance")
+		statsEach = flag.Duration("stats", 30*time.Second, "stats logging interval (0 disables)")
+	)
+	flag.Parse()
+
+	nb, err := parseNeighbors(*neighbors)
+	if err != nil {
+		log.Fatalf("xbroker: %v", err)
+	}
+	cfg := broker.Config{
+		ID:                *id,
+		UseAdvertisements: *useAdv,
+		UseCovering:       *useCov,
+		ImperfectDegree:   *degree,
+	}
+	switch *merging {
+	case "off":
+		cfg.Merging = broker.MergeOff
+	case "perfect":
+		cfg.Merging = broker.MergePerfect
+	case "imperfect":
+		cfg.Merging = broker.MergeImperfect
+	default:
+		log.Fatalf("xbroker: unknown merging mode %q", *merging)
+	}
+
+	srv := transport.NewServer(cfg, nb)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("xbroker: %v", err)
+	}
+	log.Printf("broker %s listening on %s (%d neighbours, adv=%v cov=%v merge=%s)",
+		*id, addr, len(nb), *useAdv, *useCov, *merging)
+
+	if *statsEach > 0 {
+		go func() {
+			for range time.Tick(*statsEach) {
+				st := srv.Stats()
+				log.Printf("stats: PRT=%d SRT=%d delivered=%d falsePositives=%d in=%v",
+					srv.PRTSize(), srv.SRTSize(), st.Deliveries, st.FalsePositives, st.MsgsIn)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("broker %s shutting down", *id)
+	srv.Close()
+}
+
+func parseNeighbors(spec string) (map[string]string, error) {
+	out := make(map[string]string)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad neighbour %q (want id=addr)", part)
+		}
+		out[kv[0]] = kv[1]
+	}
+	return out, nil
+}

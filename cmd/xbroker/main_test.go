@@ -1,0 +1,31 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseNeighbors(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    map[string]string
+		wantErr bool
+	}{
+		{"", map[string]string{}, false},
+		{"b2=host:7001", map[string]string{"b2": "host:7001"}, false},
+		{"b2=h:1, b3=g:2", map[string]string{"b2": "h:1", "b3": "g:2"}, false},
+		{"b2", nil, true},
+		{"=addr", nil, true},
+		{"b2=", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := parseNeighbors(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseNeighbors(%q) error = %v", tt.in, err)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("parseNeighbors(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command xclient is a publisher/subscriber endpoint for a TCP broker
+// network.
+//
+// Subscribe and wait for deliveries:
+//
+//	xclient -connect localhost:7003 -id sub1 -subscribe "/nitf/body//p"
+//
+// Advertise a DTD and publish documents:
+//
+//	xclient -connect localhost:7001 -id pub1 -advertise-dtd news.dtd
+//	xclient -connect localhost:7001 -id pub1 -publish article.xml
+//
+// The built-in corpora are available as "-advertise-dtd nitf" and
+// "-advertise-dtd psd".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/advert"
+	"repro/internal/broker"
+	"repro/internal/dtd"
+	"repro/internal/dtddata"
+	"repro/internal/transport"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+func main() {
+	var (
+		connect      = flag.String("connect", "localhost:7001", "broker address")
+		id           = flag.String("id", "client1", "client identifier")
+		subscribe    = flag.String("subscribe", "", "XPath subscription; waits for deliveries")
+		publish      = flag.String("publish", "", "XML file to publish as a document")
+		advertiseDTD = flag.String("advertise-dtd", "", "DTD file (or 'nitf'/'psd') whose advertisements to flood")
+		wait         = flag.Duration("wait", 0, "how long to wait for deliveries (0 = forever)")
+	)
+	flag.Parse()
+
+	c, err := transport.Dial(*connect, *id)
+	if err != nil {
+		log.Fatalf("xclient: %v", err)
+	}
+	defer c.Close()
+
+	switch {
+	case *advertiseDTD != "":
+		d, err := loadDTD(*advertiseDTD)
+		if err != nil {
+			log.Fatalf("xclient: %v", err)
+		}
+		advs, err := advert.Generate(d)
+		if err != nil {
+			log.Fatalf("xclient: %v", err)
+		}
+		for i, a := range advs {
+			msg := &broker.Message{Type: broker.MsgAdvertise, AdvID: fmt.Sprintf("%s-a%d", *id, i), Adv: a}
+			if err := c.Send(msg); err != nil {
+				log.Fatalf("xclient: advertise: %v", err)
+			}
+		}
+		log.Printf("advertised %d path patterns from %s", len(advs), *advertiseDTD)
+
+	case *publish != "":
+		data, err := os.ReadFile(*publish)
+		if err != nil {
+			log.Fatalf("xclient: %v", err)
+		}
+		doc, err := xmldoc.Parse(data)
+		if err != nil {
+			log.Fatalf("xclient: %v", err)
+		}
+		if err := c.Send(&broker.Message{Type: broker.MsgPublish, Doc: doc}); err != nil {
+			log.Fatalf("xclient: publish: %v", err)
+		}
+		log.Printf("published %s (%d bytes, %d paths)", *publish, doc.Size(), len(doc.Paths()))
+
+	case *subscribe != "":
+		x, err := xpath.Parse(*subscribe)
+		if err != nil {
+			log.Fatalf("xclient: %v", err)
+		}
+		if err := c.Send(&broker.Message{Type: broker.MsgSubscribe, XPE: x}); err != nil {
+			log.Fatalf("xclient: subscribe: %v", err)
+		}
+		log.Printf("subscribed to %s; waiting for documents", x)
+		deadline := make(<-chan time.Time)
+		if *wait > 0 {
+			deadline = time.After(*wait)
+		}
+		for {
+			select {
+			case m, ok := <-c.Deliveries:
+				if !ok {
+					log.Fatal("xclient: connection closed")
+				}
+				printDelivery(m)
+			case <-deadline:
+				return
+			}
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func loadDTD(name string) (*dtd.DTD, error) {
+	switch name {
+	case "nitf":
+		return dtddata.NITF(), nil
+	case "psd":
+		return dtddata.PSD(), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return dtd.Parse(string(data))
+}
+
+func printDelivery(m *broker.Message) {
+	delay := ""
+	if m.Stamp != 0 {
+		delay = fmt.Sprintf(" (delay %v)", time.Since(time.Unix(0, m.Stamp)).Round(time.Microsecond))
+	}
+	if m.Doc != nil {
+		log.Printf("received document <%s> with %d paths%s", m.Doc.Root.Name, len(m.Doc.Paths()), delay)
+		return
+	}
+	log.Printf("received %s%s", m.Pub, delay)
+}

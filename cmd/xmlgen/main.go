@@ -1,0 +1,74 @@
+// Command xmlgen generates XML documents conforming to a DTD, in the style
+// of the IBM XML Generator the paper uses.
+//
+//	xmlgen -dtd psd -n 5 -size 10240 -out docs/
+//
+// With -out "", documents are written to stdout separated by newlines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dtd"
+	"repro/internal/dtddata"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		dtdName = flag.String("dtd", "psd", "DTD: 'nitf', 'psd', or a file path")
+		n       = flag.Int("n", 1, "number of documents")
+		size    = flag.Int("size", 0, "target size in bytes (0 = natural size)")
+		levels  = flag.Int("levels", 10, "maximum nesting depth")
+		repeat  = flag.Float64("repeat", 1, "mean extra repetitions for *,+ particles")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output directory (empty = stdout)")
+	)
+	flag.Parse()
+
+	d, err := loadDTD(*dtdName)
+	if err != nil {
+		log.Fatalf("xmlgen: %v", err)
+	}
+	g := gen.NewDocGenerator(d, *seed)
+	g.MaxLevels = *levels
+	g.AvgRepeat = *repeat
+
+	for i := 0; i < *n; i++ {
+		doc := g.Generate()
+		if *size > 0 {
+			doc, err = g.GenerateSized(*size)
+			if err != nil {
+				log.Fatalf("xmlgen: %v", err)
+			}
+		}
+		data := doc.Marshal()
+		if *out == "" {
+			fmt.Printf("%s\n", data)
+			continue
+		}
+		name := filepath.Join(*out, fmt.Sprintf("%s-%03d.xml", *dtdName, i))
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			log.Fatalf("xmlgen: %v", err)
+		}
+		log.Printf("wrote %s (%d bytes, %d paths)", name, len(data), len(doc.Paths()))
+	}
+}
+
+func loadDTD(name string) (*dtd.DTD, error) {
+	switch name {
+	case "nitf":
+		return dtddata.NITF(), nil
+	case "psd":
+		return dtddata.PSD(), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return dtd.Parse(string(data))
+}

@@ -1,0 +1,64 @@
+// Command xpathgen emits random XPath subscription workloads derived from a
+// DTD, in the style of the generator of Diao et al. that the paper uses.
+//
+//	xpathgen -dtd nitf -n 1000 -w 0.2 -do 0.1 > queries.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/dtd"
+	"repro/internal/dtddata"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		dtdName = flag.String("dtd", "nitf", "DTD: 'nitf', 'psd', or a file path")
+		n       = flag.Int("n", 1000, "number of distinct expressions")
+		w       = flag.Float64("w", 0.2, "wildcard probability per step")
+		do      = flag.Float64("do", 0.1, "descendant-operator probability per step")
+		maxLen  = flag.Int("maxlen", 10, "maximum expression length")
+		minLen  = flag.Int("minlen", 1, "minimum expression length")
+		rel     = flag.Float64("rel", 0, "relative-expression probability")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	d, err := loadDTD(*dtdName)
+	if err != nil {
+		log.Fatalf("xpathgen: %v", err)
+	}
+	g := gen.NewXPathGenerator(d, *w, *do, *seed)
+	g.MaxLen = *maxLen
+	g.MinLen = *minLen
+	g.Relative = *rel
+	xs, err := g.GenerateDistinct(*n)
+	if err != nil {
+		log.Fatalf("xpathgen: %v", err)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for _, x := range xs {
+		if _, err := out.WriteString(x.String() + "\n"); err != nil {
+			log.Fatalf("xpathgen: %v", err)
+		}
+	}
+}
+
+func loadDTD(name string) (*dtd.DTD, error) {
+	switch name {
+	case "nitf":
+		return dtddata.NITF(), nil
+	case "psd":
+		return dtddata.PSD(), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return dtd.Parse(string(data))
+}

@@ -1,0 +1,93 @@
+// Protein: merging and false positives on the PSD corpus. A bioinformatics
+// portal subscribes to many per-protein queries; the edge broker merges them
+// (perfectly, then imperfectly), shrinking upstream routing state. The
+// example shows that imperfect mergers create in-network false positives
+// that the edge filters — subscribers never see them.
+package main
+
+import (
+	"fmt"
+
+	xmlrouter "repro"
+	"repro/internal/broker"
+	"repro/internal/merge"
+)
+
+func main() {
+	advs, err := xmlrouter.GenerateAdvertisements(xmlrouter.PSD())
+	if err != nil {
+		panic(err)
+	}
+	est := merge.NewDegreeEstimator(advs, 10, 4000)
+
+	for _, mode := range []struct {
+		name    string
+		merging broker.MergingMode
+		degree  float64
+	}{
+		{"no merging", xmlrouter.MergeOff, 0},
+		{"perfect merging", xmlrouter.MergePerfect, 0},
+		{"imperfect (D=0.7)", xmlrouter.MergeImperfect, 0.7},
+	} {
+		upstream, delivered, fps := run(mode.merging, mode.degree, est, advs)
+		fmt.Printf("%-18s upstream PRT: %3d   delivered: %3d   in-network false positives: %d\n",
+			mode.name, upstream, delivered, fps)
+	}
+}
+
+func run(merging broker.MergingMode, degree float64, est *merge.DegreeEstimator, advs []*xmlrouter.Advertisement) (int, int64, int64) {
+	net := xmlrouter.NewNetwork(11)
+	ids := xmlrouter.BuildChain(net, 2, xmlrouter.BrokerConfig{
+		UseAdvertisements: true,
+		UseCovering:       true,
+		Merging:           merging,
+		ImperfectDegree:   degree,
+		Estimator:         est,
+		MergeEvery:        8,
+	})
+	database := net.AddClient("database", ids[0])
+	portal := net.AddClient("portal", ids[1])
+
+	for i, a := range advs {
+		database.Send(&xmlrouter.Message{Type: xmlrouter.MsgAdvertise, AdvID: fmt.Sprintf("a%d", i), Adv: a})
+	}
+	net.Run()
+
+	// The portal watches many sibling fields — prime merging material.
+	queries := []string{
+		"/ProteinDatabase/ProteinEntry/header/uid",
+		"/ProteinDatabase/ProteinEntry/header/accession",
+		"/ProteinDatabase/ProteinEntry/header/created_date",
+		"/ProteinDatabase/ProteinEntry/protein/name",
+		"/ProteinDatabase/ProteinEntry/protein/alt-name",
+		"/ProteinDatabase/ProteinEntry/protein/contains",
+		"/ProteinDatabase/ProteinEntry/organism/source",
+		"/ProteinDatabase/ProteinEntry/organism/common",
+		"/ProteinDatabase/ProteinEntry/organism/formal",
+		"/ProteinDatabase/ProteinEntry/reference/refinfo/authors/author",
+		"/ProteinDatabase/ProteinEntry/reference/refinfo/citation",
+		"/ProteinDatabase/ProteinEntry/reference/refinfo/year",
+		"//feature/feature-type",
+		"//feature/feature-spec",
+		"//summary/length",
+		"//summary/type",
+		"//classification/superfamily",
+	}
+	for _, q := range queries {
+		portal.Send(&xmlrouter.Message{Type: xmlrouter.MsgSubscribe, XPE: xmlrouter.MustParseXPE(q)})
+	}
+	net.Run()
+
+	gen := xmlrouter.NewDocGenerator(xmlrouter.PSD(), 5)
+	gen.AvgRepeat = 1.5
+	for i := 0; i < 25; i++ {
+		doc := gen.Generate()
+		for _, p := range xmlrouter.ExtractPublications(doc, uint64(i)) {
+			database.Send(&xmlrouter.Message{Type: xmlrouter.MsgPublish, Pub: p})
+		}
+	}
+	net.Run()
+
+	edge := net.Broker(ids[1]).Stats()
+	return net.Broker(ids[0]).PRTSize(), edge.Deliveries, edge.FalsePositives
+}

@@ -1,0 +1,250 @@
+package advert
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+)
+
+// DefaultGenerateLimit bounds the number of advertisements Generate will
+// produce before giving up; it guards against combinatorially explosive
+// DTDs.
+const DefaultGenerateLimit = 500000
+
+// Generate derives the complete advertisement set from a DTD: one
+// advertisement per root-to-leaf path pattern of documents conforming to the
+// DTD. Non-recursive DTDs yield plain path advertisements. Recursion is
+// detected through back-edges of the containment-graph DFS; a back-edge
+// wraps the cycle's element run into a one-or-more "(...)+" group, nested
+// back-edges produce embedded groups, and disjoint cycles along one path
+// produce series groups — the paper's three recursive-advertisement classes.
+//
+// An advertisement ends at every element that can be childless in a
+// conforming document (EMPTY or mixed content, or a nullable content model),
+// because such an element can terminate a root-to-leaf path.
+//
+// The generator is sound for DTDs whose cycles are simple and entered only
+// at their head, which the embedded corpora satisfy; soundness (every
+// document path matches at least one advertisement) is verified by property
+// tests in package gen against randomly generated documents.
+func Generate(d *dtd.DTD) ([]*Advertisement, error) {
+	return GenerateLimited(d, DefaultGenerateLimit)
+}
+
+// GenerateLimited is Generate with an explicit output-size cap.
+func GenerateLimited(d *dtd.DTD, limit int) ([]*Advertisement, error) {
+	if d.Element(d.Root) == nil {
+		return nil, fmt.Errorf("advert: DTD has no root element declaration")
+	}
+	g := &generator{
+		d:       d,
+		onStack: make(map[string]int),
+		seen:    make(map[string]bool),
+		limit:   limit,
+	}
+	if err := g.visit(d.Root); err != nil {
+		return nil, err
+	}
+	return g.results, nil
+}
+
+type generator struct {
+	d       *dtd.DTD
+	items   []Item         // the open path under construction
+	onStack map[string]int // ancestor element -> index into items; -1 while wrapped
+	results []*Advertisement
+	seen    map[string]bool
+	limit   int
+}
+
+// errLimit is the sentinel for exceeding the advertisement cap.
+var errLimit = fmt.Errorf("advert: advertisement limit exceeded")
+
+func (g *generator) emit() error {
+	adv := &Advertisement{Items: cloneItems(g.items)}
+	key := adv.Key()
+	if g.seen[key] {
+		return nil
+	}
+	if len(g.results) >= g.limit {
+		return fmt.Errorf("%w (%d)", errLimit, g.limit)
+	}
+	g.seen[key] = true
+	g.results = append(g.results, adv)
+	return nil
+}
+
+// visit explores element name as the next path component.
+func (g *generator) visit(name string) error {
+	idx := len(g.items)
+	g.items = append(g.items, Sym(name))
+	g.onStack[name] = idx
+	defer func() {
+		delete(g.onStack, name)
+		g.items = g.items[:idx]
+	}()
+
+	if g.d.CanBeChildless(name) {
+		if err := g.emit(); err != nil {
+			return err
+		}
+	}
+	for _, c := range g.d.Children(name) {
+		if err := g.descend(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// descend continues path construction into child element c: a fresh element
+// is visited, a back-edge to an ancestor wraps the cycle lap into a group,
+// and an ancestor whose symbol is already inside a wrapped group (masked,
+// index -1) is not pumped again.
+func (g *generator) descend(c string) error {
+	pos, on := g.onStack[c]
+	switch {
+	case on && pos >= 0:
+		return g.handleBackEdge(pos)
+	case on:
+		return nil
+	default:
+		return g.visit(c)
+	}
+}
+
+// handleBackEdge is called when the current element (the last of g.items)
+// has a child that is already on the path at item index pos. The run
+// items[pos:] is one full lap of a cycle; the grouped advertisement
+// (lap)+ covers one or more laps. The method emits and explores every
+// continuation of the pumped pattern:
+//
+//   - an exit taken right after a complete lap (a child of the lap's last
+//     element other than the cycle head), and
+//   - partial re-walks of the lap followed by an exit from an interior
+//     element.
+func (g *generator) handleBackEdge(pos int) error {
+	lap := cloneItems(g.items[pos:])
+	saved := g.items
+	g.items = append(append([]Item{}, g.items[:pos]...), Item{Group: lap})
+
+	// While exploring the pumped configuration, ancestors whose symbols were
+	// swallowed by the group must not be wrapped again: their recorded item
+	// indices are stale.
+	var masked []string
+	for el, p := range g.onStack {
+		if p >= pos {
+			g.onStack[el] = -1
+			masked = append(masked, el)
+		}
+	}
+	defer func() {
+		g.items = saved
+		for _, el := range masked {
+			// All masked elements are still on the path frames below us;
+			// restore their true indices from the saved layout.
+			g.onStack[el] = indexOfSym(saved, el)
+		}
+	}()
+
+	// The expansion of the group ends at the lap's last element; a document
+	// may end there if that element can be childless.
+	last := lastElement(lap)
+	if last != "" && g.d.CanBeChildless(last) {
+		if err := g.emit(); err != nil {
+			return err
+		}
+	}
+	// Exits after a complete lap. A nested back-edge found here wraps the
+	// pumped configuration again, which is where embedded-recursive
+	// advertisements come from.
+	head := headElement(lap)
+	if last != "" {
+		for _, x := range g.d.Children(last) {
+			if x == head {
+				continue // taking the back-edge again is the group itself
+			}
+			if err := g.descend(x); err != nil {
+				return err
+			}
+		}
+	}
+	// Partial re-walks: after k full laps the document may walk a strict
+	// prefix of the lap again and then diverge.
+	return g.partialLaps(lap)
+}
+
+// partialLaps appends lap[0..m] for every strict prefix and explores exits
+// from the prefix's last element.
+func (g *generator) partialLaps(lap []Item) error {
+	for m := 0; m < len(lap)-1; m++ {
+		g.items = append(g.items, lap[m])
+		el := itemElement(lap[m])
+		if el == "" {
+			continue // divergence inside a nested group is not re-walked
+		}
+		if g.d.CanBeChildless(el) {
+			if err := g.emit(); err != nil {
+				return err
+			}
+		}
+		for _, x := range g.d.Children(el) {
+			if x == headElement(lap[m+1:]) {
+				continue // continuing the lap is covered by longer prefixes
+			}
+			if err := g.descend(x); err != nil {
+				return err
+			}
+		}
+	}
+	g.items = g.items[:len(g.items)-(len(lap)-1)]
+	return nil
+}
+
+// itemElement returns the element a path position corresponds to: the name
+// of a symbol item, or the single element of a self-loop group. Nested
+// multi-element groups have no single representative and yield "".
+func itemElement(it Item) string {
+	if !it.IsGroup() {
+		return it.Name
+	}
+	if len(it.Group) == 1 && !it.Group[0].IsGroup() {
+		return it.Group[0].Name
+	}
+	return ""
+}
+
+// headElement returns the first element of an item run's expansion.
+func headElement(seq []Item) string {
+	if len(seq) == 0 {
+		return ""
+	}
+	if seq[0].IsGroup() {
+		return headElement(seq[0].Group)
+	}
+	return seq[0].Name
+}
+
+// lastElement returns the final element of an item run's expansion. Every
+// expansion of a group ends with the group body's last element.
+func lastElement(seq []Item) string {
+	if len(seq) == 0 {
+		return ""
+	}
+	it := seq[len(seq)-1]
+	if it.IsGroup() {
+		return lastElement(it.Group)
+	}
+	return it.Name
+}
+
+// indexOfSym finds the item index of element el in an open-path layout,
+// looking through symbols only; -1 if the element is inside a group.
+func indexOfSym(items []Item, el string) int {
+	for i, it := range items {
+		if !it.IsGroup() && it.Name == el {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,532 @@
+package broker
+
+import (
+	"sort"
+
+	"repro/internal/advert"
+	"repro/internal/cover"
+	"repro/internal/merge"
+	"repro/internal/subtree"
+	"repro/internal/xpath"
+)
+
+// MergingMode selects the broker's merging optimisation.
+type MergingMode uint8
+
+const (
+	// MergeOff disables merging.
+	MergeOff MergingMode = iota
+	// MergePerfect applies only perfect mergers (imperfect degree 0).
+	MergePerfect
+	// MergeImperfect applies mergers up to Config.ImperfectDegree.
+	MergeImperfect
+)
+
+// Config selects the routing strategy, mirroring the paper's evaluated
+// combinations (no-Adv-no-Cov ... with-Adv-with-CovIPM).
+type Config struct {
+	// ID names the broker; peers address it by ID.
+	ID string
+	// UseAdvertisements routes subscriptions toward matching advertisements
+	// instead of flooding them.
+	UseAdvertisements bool
+	// UseCovering suppresses forwarding of covered subscriptions and
+	// unsubscribes newly covered ones.
+	UseCovering bool
+	// Merging selects the merging optimisation. Merging presupposes
+	// covering (the subscription tree orders merge candidates); enabling it
+	// without UseCovering is unsupported.
+	Merging MergingMode
+	// ImperfectDegree is the D_imperfect tolerance for MergeImperfect.
+	ImperfectDegree float64
+	// Estimator computes imperfect degrees; required for any merging mode
+	// (perfect merging needs it to prove degree 0).
+	Estimator *merge.DegreeEstimator
+	// MergeEvery runs a merge pass after this many new subscriptions
+	// (default 64).
+	MergeEvery int
+}
+
+// Stats counts a broker's activity.
+type Stats struct {
+	MsgsIn         map[MsgType]int64
+	MsgsOut        map[MsgType]int64
+	Deliveries     int64 // publications handed to clients
+	FalsePositives int64 // publications reaching an edge broker's client filter without a matching client subscription
+	Mergers        int64 // subscription mergers applied by the periodic pass
+}
+
+// Broker is one content-based XML router. It is not safe for concurrent use;
+// each transport serialises HandleMessage calls (the simulator is single-
+// threaded, the TCP transport locks around the broker).
+type Broker struct {
+	cfg  Config
+	send func(to string, m *Message)
+
+	neighbors []string        // broker peers
+	clients   map[string]bool // client peers
+
+	// SRT: advertisements with last hops, deduplicated by AdvID.
+	srt     []*advEntry
+	srtByID map[string]*advEntry
+
+	// PRT: the subscription tree; node Data holds *subState.
+	prt *subtree.Tree
+	// clientSubs holds each client's original subscriptions for final
+	// delivery filtering: mergers may overapproximate, and the paper's
+	// semantics require that false positives never reach clients.
+	clientSubs map[string]*subtree.Tree
+
+	sinceMerge int
+	stats      Stats
+}
+
+type advEntry struct {
+	id      string
+	adv     *advert.Advertisement
+	lastHop string
+	flat    []string // FlatNames for non-recursive advertisements, else nil
+}
+
+// subState is the routing payload of a PRT node.
+type subState struct {
+	lastHops    map[string]bool
+	forwardedTo map[string]bool
+	merger      bool
+}
+
+func stateOf(n *subtree.Node) *subState {
+	s, _ := n.Data.(*subState)
+	return s
+}
+
+// New constructs a broker. Neighbors and clients are registered afterwards
+// with AddNeighbor/AddClient; send delivers a message to a peer by ID.
+func New(cfg Config, send func(to string, m *Message)) *Broker {
+	if cfg.MergeEvery <= 0 {
+		cfg.MergeEvery = 64
+	}
+	return &Broker{
+		cfg:        cfg,
+		send:       send,
+		clients:    make(map[string]bool),
+		srtByID:    make(map[string]*advEntry),
+		prt:        subtree.New(),
+		clientSubs: make(map[string]*subtree.Tree),
+	}
+}
+
+// ID returns the broker's identifier.
+func (b *Broker) ID() string { return b.cfg.ID }
+
+// AddNeighbor registers a neighbouring broker.
+func (b *Broker) AddNeighbor(id string) {
+	b.neighbors = append(b.neighbors, id)
+	sort.Strings(b.neighbors)
+}
+
+// AddClient registers a directly connected client.
+func (b *Broker) AddClient(id string) {
+	b.clients[id] = true
+	if b.clientSubs[id] == nil {
+		b.clientSubs[id] = subtree.New()
+	}
+}
+
+// Stats returns a copy of the broker's counters.
+func (b *Broker) Stats() Stats {
+	out := Stats{
+		MsgsIn:         make(map[MsgType]int64, len(b.stats.MsgsIn)),
+		MsgsOut:        make(map[MsgType]int64, len(b.stats.MsgsOut)),
+		Deliveries:     b.stats.Deliveries,
+		FalsePositives: b.stats.FalsePositives,
+		Mergers:        b.stats.Mergers,
+	}
+	for k, v := range b.stats.MsgsIn {
+		out.MsgsIn[k] = v
+	}
+	for k, v := range b.stats.MsgsOut {
+		out.MsgsOut[k] = v
+	}
+	return out
+}
+
+// PRTSize returns the number of subscriptions stored in the PRT.
+func (b *Broker) PRTSize() int { return b.prt.Size() }
+
+// SRTSize returns the number of advertisements stored in the SRT.
+func (b *Broker) SRTSize() int { return len(b.srt) }
+
+// PRT exposes the subscription tree for experiments and tests.
+func (b *Broker) PRT() *subtree.Tree { return b.prt }
+
+// HandleMessage processes one incoming message from peer `from`.
+func (b *Broker) HandleMessage(m *Message, from string) {
+	if b.stats.MsgsIn == nil {
+		b.stats.MsgsIn = make(map[MsgType]int64)
+	}
+	b.stats.MsgsIn[m.Type]++
+	switch m.Type {
+	case MsgAdvertise:
+		b.handleAdvertise(m, from)
+	case MsgUnadvertise:
+		b.handleUnadvertise(m, from)
+	case MsgSubscribe:
+		b.handleSubscribe(m, from)
+	case MsgUnsubscribe:
+		b.handleUnsubscribe(m, from)
+	case MsgPublish:
+		b.handlePublish(m, from)
+	}
+}
+
+func (b *Broker) emit(to string, m *Message) {
+	if b.stats.MsgsOut == nil {
+		b.stats.MsgsOut = make(map[MsgType]int64)
+	}
+	b.stats.MsgsOut[m.Type]++
+	b.send(to, m)
+}
+
+// --- advertisements ---
+
+func (b *Broker) handleAdvertise(m *Message, from string) {
+	if _, dup := b.srtByID[m.AdvID]; dup {
+		return // flooding duplicate
+	}
+	e := &advEntry{id: m.AdvID, adv: m.Adv, lastHop: from}
+	if m.Adv.Classify() == advert.NonRecursive {
+		e.flat = m.Adv.FlatNames()
+	}
+	// Advertisement covering: an advertisement covered by an existing one
+	// with the same last hop is redundant — subscriptions overlapping it
+	// are already routed that way. (Different last hops must both stay:
+	// they lead to different producers.)
+	if b.cfg.UseCovering && e.flat != nil {
+		for _, old := range b.srt {
+			if old.lastHop == from && old.flat != nil && cover.CoversAdvertisement(old.flat, e.flat) {
+				b.srtByID[m.AdvID] = old // remember the ID for dedup
+				return
+			}
+		}
+	}
+	b.srt = append(b.srt, e)
+	b.srtByID[m.AdvID] = e
+
+	// Flood to all other peers that are brokers.
+	for _, nb := range b.neighbors {
+		if nb != from {
+			b.emit(nb, m)
+		}
+	}
+	// Forward existing subscriptions toward the new advertisement.
+	if b.cfg.UseAdvertisements && from != "" {
+		for _, n := range b.prt.TopLevel() {
+			st := stateOf(n)
+			if st == nil || st.forwardedTo[from] {
+				continue
+			}
+			if m.Adv.Overlaps(n.XPE) {
+				st.forwardedTo[from] = true
+				b.emit(from, &Message{Type: MsgSubscribe, XPE: n.XPE})
+			}
+		}
+	}
+}
+
+func (b *Broker) handleUnadvertise(m *Message, from string) {
+	e := b.srtByID[m.AdvID]
+	if e == nil {
+		return
+	}
+	delete(b.srtByID, m.AdvID)
+	for i, cur := range b.srt {
+		if cur == e {
+			b.srt = append(b.srt[:i], b.srt[i+1:]...)
+			break
+		}
+	}
+	for _, nb := range b.neighbors {
+		if nb != from {
+			b.emit(nb, m)
+		}
+	}
+}
+
+// --- subscriptions ---
+
+func (b *Broker) handleSubscribe(m *Message, from string) {
+	if b.clients[from] {
+		// Remember the client's original subscription for delivery
+		// filtering.
+		b.clientSubs[from].Insert(m.XPE)
+	}
+
+	var res subtree.InsertResult
+	if b.cfg.UseCovering {
+		res = b.prt.Insert(m.XPE)
+	} else {
+		res = b.prt.FlatInsert(m.XPE)
+	}
+	st := stateOf(res.Node)
+	if st == nil {
+		st = &subState{lastHops: make(map[string]bool), forwardedTo: make(map[string]bool)}
+		res.Node.Data = st
+	}
+	newDirection := !st.lastHops[from]
+	st.lastHops[from] = true
+	if res.Duplicate && !newDirection {
+		return // a pure repeat from the same peer changes nothing
+	}
+	// A known expression arriving from a NEW direction must still
+	// propagate: reverse-path delivery needs every broker between the
+	// publisher and the new subscriber to record the new interest
+	// direction, so the subscription is re-forwarded to the hops it has
+	// not reached yet.
+	b.forwardSubscription(res.Node, st, from)
+
+	// Withdraw the subscriptions this one covers from the hops both were
+	// forwarded to: downstream tables keep routing through the broader
+	// subscription.
+	if b.cfg.UseCovering {
+		for _, covered := range res.NewlyCovered {
+			cst := stateOf(covered)
+			if cst == nil {
+				continue
+			}
+			for hop := range cst.forwardedTo {
+				if st.forwardedTo[hop] {
+					b.emit(hop, &Message{Type: MsgUnsubscribe, XPE: covered.XPE})
+					delete(cst.forwardedTo, hop)
+				}
+			}
+		}
+	}
+
+	// Periodic merging.
+	if b.cfg.Merging != MergeOff {
+		b.sinceMerge++
+		if b.sinceMerge >= b.cfg.MergeEvery {
+			b.sinceMerge = 0
+			b.runMergePass()
+		}
+	}
+}
+
+// forwardSubscription sends a subscription to the next hops its matching
+// advertisements indicate (or floods it without advertisements). With
+// covering, a hop is skipped when a covering subscription was already
+// forwarded to that same hop — the per-next-hop rule; suppressing a covered
+// subscription entirely would lose publications arriving from directions
+// the coverer's own path does not serve.
+func (b *Broker) forwardSubscription(n *subtree.Node, st *subState, from string) {
+	var coverers []*subtree.Node
+	if b.cfg.UseCovering {
+		coverers = b.prt.Coverers(n.XPE)
+	}
+	for _, hop := range b.subscriptionNextHops(n.XPE, from) {
+		// Skip hops already served. Hops that themselves sent this
+		// subscription are NOT skipped: they sent it on behalf of a
+		// different subscriber direction and still need to learn of this
+		// one for reverse-path delivery.
+		if st.forwardedTo[hop] {
+			continue
+		}
+		if coveredAtHop(coverers, hop) {
+			continue
+		}
+		st.forwardedTo[hop] = true
+		b.emit(hop, &Message{Type: MsgSubscribe, XPE: n.XPE})
+	}
+}
+
+// coveredAtHop reports whether any coverer has already been forwarded to the
+// hop.
+func coveredAtHop(coverers []*subtree.Node, hop string) bool {
+	for _, c := range coverers {
+		if cst := stateOf(c); cst != nil && cst.forwardedTo[hop] {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Broker) subscriptionNextHops(x *xpath.XPE, from string) []string {
+	if !b.cfg.UseAdvertisements {
+		out := make([]string, 0, len(b.neighbors))
+		for _, nb := range b.neighbors {
+			if nb != from {
+				out = append(out, nb)
+			}
+		}
+		return out
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range b.srt {
+		if e.lastHop == "" || e.lastHop == from || seen[e.lastHop] {
+			continue
+		}
+		if !b.clients[e.lastHop] && e.adv.Overlaps(x) {
+			seen[e.lastHop] = true
+			out = append(out, e.lastHop)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (b *Broker) handleUnsubscribe(m *Message, from string) {
+	if b.clients[from] {
+		if n := b.clientSubs[from].Lookup(m.XPE); n != nil {
+			b.clientSubs[from].Remove(n)
+		}
+	}
+	n := b.prt.Lookup(m.XPE)
+	if n == nil {
+		return
+	}
+	st := stateOf(n)
+	if st != nil {
+		delete(st.lastHops, from)
+		if len(st.lastHops) > 0 {
+			return // other peers still need it
+		}
+	}
+	wasTop := n.Parent() == nil
+	// The nodes this subscription covered — its adopted children and its
+	// super-pointer targets — may have had forwarding suppressed on hops it
+	// served; collect them before the removal destroys the links.
+	var uncovered []*subtree.Node
+	uncovered = append(uncovered, n.Children()...)
+	uncovered = append(uncovered, n.Super()...)
+	b.prt.Remove(n)
+	// Propagate the withdrawal.
+	if st != nil {
+		for hop := range st.forwardedTo {
+			b.emit(hop, &Message{Type: MsgUnsubscribe, XPE: m.XPE})
+		}
+	}
+	// Uncovering: re-forward what this subscription suppressed.
+	// forwardSubscription re-applies the per-hop covering rule against the
+	// remaining coverers.
+	if b.cfg.UseCovering && wasTop {
+		for _, c := range uncovered {
+			if cst := stateOf(c); cst != nil {
+				b.forwardSubscription(c, cst, "")
+			}
+		}
+	}
+}
+
+// runMergePass merges PRT siblings per the configured mode and translates
+// each merger into network operations: unsubscribe the sources, subscribe
+// the merger.
+func (b *Broker) runMergePass() {
+	maxDegree := 0.0
+	if b.cfg.Merging == MergeImperfect {
+		maxDegree = b.cfg.ImperfectDegree
+	}
+	opts := merge.Options{
+		MaxDegree: maxDegree,
+		Estimator: b.cfg.Estimator,
+		OnMerge: func(m *merge.Merger, sources []*subtree.Node, mergerNode *subtree.Node) {
+			b.stats.Mergers++
+			st := stateOf(mergerNode)
+			if st == nil {
+				st = &subState{lastHops: make(map[string]bool), forwardedTo: make(map[string]bool), merger: true}
+				mergerNode.Data = st
+			}
+			var oldForwards map[string]bool
+			for _, src := range sources {
+				sst := stateOf(src)
+				if sst == nil {
+					continue
+				}
+				for hop := range sst.lastHops {
+					st.lastHops[hop] = true
+				}
+				if oldForwards == nil {
+					oldForwards = make(map[string]bool)
+				}
+				for hop := range sst.forwardedTo {
+					oldForwards[hop] = true
+				}
+			}
+			// Withdraw the sources upstream and forward the merger instead.
+			for _, src := range sources {
+				sst := stateOf(src)
+				if sst == nil {
+					continue
+				}
+				for hop := range sst.forwardedTo {
+					b.emit(hop, &Message{Type: MsgUnsubscribe, XPE: src.XPE})
+				}
+			}
+			for _, hop := range b.subscriptionNextHops(mergerNode.XPE, "") {
+				if st.forwardedTo[hop] {
+					continue
+				}
+				st.forwardedTo[hop] = true
+				b.emit(hop, &Message{Type: MsgSubscribe, XPE: mergerNode.XPE})
+			}
+		},
+	}
+	merge.Pass(b.prt, opts)
+}
+
+// --- publications ---
+
+func (b *Broker) handlePublish(m *Message, from string) {
+	paths := [][]string{m.Pub.Path}
+	attrs := [][]map[string]string{m.Pub.Attrs}
+	if m.Doc != nil {
+		paths, attrs = m.Doc.AnnotatedPaths()
+	}
+	// Collect next hops from all matching subscriptions with covering-
+	// pruned tree traversal; attribute predicates are evaluated in-network.
+	hops := make(map[string]bool)
+	for i, path := range paths {
+		b.prt.MatchPathAttrs(path, attrs[i], func(n *subtree.Node) {
+			st := stateOf(n)
+			if st == nil {
+				return
+			}
+			for hop := range st.lastHops {
+				if hop != from {
+					hops[hop] = true
+				}
+			}
+		})
+	}
+	ordered := make([]string, 0, len(hops))
+	for hop := range hops {
+		ordered = append(ordered, hop)
+	}
+	sort.Strings(ordered)
+	for _, hop := range ordered {
+		if b.clients[hop] {
+			// Edge filtering: imperfect mergers must not leak false
+			// positives to clients.
+			if !b.matchesClient(hop, paths, attrs) {
+				b.stats.FalsePositives++
+				continue
+			}
+			b.stats.Deliveries++
+		}
+		b.emit(hop, m)
+	}
+}
+
+func (b *Broker) matchesClient(client string, paths [][]string, attrs [][]map[string]string) bool {
+	tree := b.clientSubs[client]
+	if tree == nil {
+		return false
+	}
+	for i, path := range paths {
+		if tree.MatchPathAnyAttrs(path, attrs[i]) {
+			return true
+		}
+	}
+	return false
+}

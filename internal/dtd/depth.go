@@ -1,0 +1,69 @@
+package dtd
+
+// Unbounded marks elements that cannot terminate (every completion requires
+// infinitely many levels); it only arises in malformed DTDs whose cycles
+// have no exit.
+const Unbounded = 1 << 30
+
+// MinDepthBelow computes, for every declared element, the minimal number of
+// levels that must exist below it in a conforming document: 0 if the element
+// can be childless, otherwise one more than the depth its cheapest required
+// completion needs. Document generators use it to respect a depth budget.
+func (d *DTD) MinDepthBelow() map[string]int {
+	need := make(map[string]int, len(d.order))
+	for _, n := range d.order {
+		if d.CanBeChildless(n) {
+			need[n] = 0
+		} else {
+			need[n] = Unbounded
+		}
+	}
+	// Relax to a fixpoint; values only decrease, bounded by element count.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range d.order {
+			el := d.Elements[n]
+			if el.Content != ChildrenContent || need[n] == 0 {
+				continue
+			}
+			v := minParticleDepth(el.Model, need)
+			if v < need[n] {
+				need[n] = v
+				changed = true
+			}
+		}
+	}
+	return need
+}
+
+// minParticleDepth returns the minimal subtree depth a particle's cheapest
+// required instantiation forces.
+func minParticleDepth(p *Particle, need map[string]int) int {
+	if p == nil || p.Occ == Optional || p.Occ == ZeroOrMore {
+		return 0
+	}
+	switch p.Kind {
+	case NameParticle:
+		n := need[p.Name]
+		if n >= Unbounded {
+			return Unbounded
+		}
+		return 1 + n
+	case ChoiceParticle:
+		best := Unbounded
+		for _, c := range p.Children {
+			if v := minParticleDepth(c, need); v < best {
+				best = v
+			}
+		}
+		return best
+	default: // SeqParticle: every required child appears; depth is the max.
+		worst := 0
+		for _, c := range p.Children {
+			if v := minParticleDepth(c, need); v > worst {
+				worst = v
+			}
+		}
+		return worst
+	}
+}

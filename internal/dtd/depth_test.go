@@ -1,0 +1,67 @@
+package dtd
+
+import "testing"
+
+func TestMinDepthBelow(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT root (mid)>
+<!ELEMENT mid (leaf, opt?)>
+<!ELEMENT leaf (#PCDATA)>
+<!ELEMENT opt (leaf)>
+<!ELEMENT loose (leaf*)>
+<!ELEMENT chooser (leaf | mid)>
+`)
+	need := d.MinDepthBelow()
+	tests := []struct {
+		el   string
+		want int
+	}{
+		{"leaf", 0},    // text-only: can be childless
+		{"loose", 0},   // all-optional model
+		{"opt", 1},     // must contain a leaf
+		{"mid", 1},     // leaf is required, opt is not
+		{"root", 2},    // root -> mid -> leaf
+		{"chooser", 1}, // picks the cheaper branch
+	}
+	for _, tt := range tests {
+		if got := need[tt.el]; got != tt.want {
+			t.Errorf("MinDepthBelow[%s] = %d, want %d", tt.el, got, tt.want)
+		}
+	}
+}
+
+func TestMinDepthBelowRecursive(t *testing.T) {
+	// A cycle with an exit still terminates cheaply; a cycle without one is
+	// unbounded.
+	d := MustParse(`
+<!ELEMENT a (b)>
+<!ELEMENT b (a | leaf)>
+<!ELEMENT leaf (#PCDATA)>
+<!ELEMENT trap (trap2)>
+<!ELEMENT trap2 (trap)>
+`)
+	need := d.MinDepthBelow()
+	if need["a"] != 2 { // a -> b -> leaf
+		t.Errorf("need[a] = %d, want 2", need["a"])
+	}
+	if need["b"] != 1 {
+		t.Errorf("need[b] = %d, want 1", need["b"])
+	}
+	if need["trap"] < Unbounded {
+		t.Errorf("need[trap] = %d, want unbounded", need["trap"])
+	}
+}
+
+func TestCorporaDepthsBounded(t *testing.T) {
+	// Every element of the embedded corpora must be able to terminate: the
+	// document generator relies on it.
+	for _, src := range []string{bookDTD, recursiveDTD} {
+		d := MustParse(src)
+		need := d.MinDepthBelow()
+		for _, name := range d.Names() {
+			if need[name] >= Unbounded {
+				t.Errorf("element %q cannot terminate", name)
+			}
+		}
+	}
+}

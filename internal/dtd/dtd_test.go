@@ -1,0 +1,214 @@
+package dtd
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const bookDTD = `
+<!-- a small non-recursive catalogue -->
+<!ELEMENT catalog (book+, publisher*)>
+<!ELEMENT book (title, author+, price?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT publisher (name, address?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT address (#PCDATA)>
+<!ATTLIST book isbn CDATA #REQUIRED
+               lang (en|fr|de) "en">
+`
+
+const recursiveDTD = `
+<!ELEMENT doc (section+)>
+<!ELEMENT section (heading, (para | section)*)>
+<!ELEMENT heading (#PCDATA)>
+<!ELEMENT para (#PCDATA | emph)*>
+<!ELEMENT emph (#PCDATA | emph)*>
+`
+
+func TestParseBookDTD(t *testing.T) {
+	d, err := Parse(bookDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "catalog" {
+		t.Errorf("Root = %q, want catalog", d.Root)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Children("catalog"); !reflect.DeepEqual(got, []string{"book", "publisher"}) {
+		t.Errorf("Children(catalog) = %v", got)
+	}
+	if got := d.Children("book"); !reflect.DeepEqual(got, []string{"title", "author", "price"}) {
+		t.Errorf("Children(book) = %v", got)
+	}
+	if !d.IsLeaf("title") || d.IsLeaf("book") {
+		t.Error("leaf detection wrong")
+	}
+	if d.IsRecursive() {
+		t.Error("book DTD must not be recursive")
+	}
+	book := d.Element("book")
+	if len(book.Attrs) != 2 {
+		t.Fatalf("book attrs = %+v", book.Attrs)
+	}
+	if book.Attrs[0].Name != "isbn" || book.Attrs[0].Default != "#REQUIRED" {
+		t.Errorf("isbn attr = %+v", book.Attrs[0])
+	}
+	if book.Attrs[1].Name != "lang" || book.Attrs[1].Default != "en" {
+		t.Errorf("lang attr = %+v", book.Attrs[1])
+	}
+}
+
+func TestParseRecursiveDTD(t *testing.T) {
+	d := MustParse(recursiveDTD)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsRecursive() {
+		t.Fatal("recursive DTD not detected")
+	}
+	rec := d.RecursiveElements()
+	var names []string
+	for n := range rec {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if !reflect.DeepEqual(names, []string{"emph", "section"}) {
+		t.Errorf("RecursiveElements = %v, want [emph section]", names)
+	}
+}
+
+func TestContentModelString(t *testing.T) {
+	d := MustParse(recursiveDTD)
+	got := d.Element("section").Model.String()
+	want := "(heading, (para | section)*)"
+	if got != want {
+		t.Errorf("Model.String() = %q, want %q", got, want)
+	}
+}
+
+func TestParameterEntities(t *testing.T) {
+	src := `
+<!ENTITY % inline "b | i | span">
+<!ENTITY % blocks "(para | list)+">
+<!ELEMENT doc %blocks;>
+<!ELEMENT para (#PCDATA | %inline;)*>
+<!ELEMENT list (item+)>
+<!ELEMENT item (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT i (#PCDATA)>
+<!ELEMENT span (#PCDATA)>
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Children("para"); !reflect.DeepEqual(got, []string{"b", "i", "span"}) {
+		t.Errorf("Children(para) = %v", got)
+	}
+	if got := d.Children("doc"); !reflect.DeepEqual(got, []string{"para", "list"}) {
+		t.Errorf("Children(doc) = %v", got)
+	}
+}
+
+func TestNestedEntities(t *testing.T) {
+	src := `
+<!ENTITY % base "b | i">
+<!ENTITY % more "%base; | u">
+<!ELEMENT p (#PCDATA | %more;)*>
+<!ELEMENT b EMPTY><!ELEMENT i EMPTY><!ELEMENT u EMPTY>
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Children("p"); !reflect.DeepEqual(got, []string{"b", "i", "u"}) {
+		t.Errorf("Children(p) = %v", got)
+	}
+}
+
+func TestEntityCycleRejected(t *testing.T) {
+	src := `
+<!ENTITY % a "%b;">
+<!ENTITY % b "%a;">
+<!ELEMENT doc (%a;)>
+`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("cyclic parameter entities accepted")
+	}
+}
+
+func TestAnyContent(t *testing.T) {
+	d := MustParse(`<!ELEMENT a ANY><!ELEMENT b EMPTY><!ELEMENT c (#PCDATA)>`)
+	if got := d.Children("a"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Children(ANY) = %v", got)
+	}
+	if !d.IsRecursive() {
+		t.Error("ANY containing itself should be recursive")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct{ name, src string }{
+		{"empty", ""},
+		{"garbage", "hello"},
+		{"unterminated element", "<!ELEMENT a (b"},
+		{"missing content", "<!ELEMENT a >"},
+		{"double declaration", "<!ELEMENT a EMPTY><!ELEMENT a EMPTY>"},
+		{"mixed separators", "<!ELEMENT a (b, c | d)>"},
+		{"unterminated comment", "<!-- never closed <!ELEMENT a EMPTY>"},
+		{"unterminated pi", "<?xml version='1.0'"},
+		{"bad mixed", "<!ELEMENT a (#PCDATA, b)>"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); err == nil {
+				t.Errorf("Parse accepted %q", tt.src)
+			}
+		})
+	}
+}
+
+func TestValidateCatchesUndeclared(t *testing.T) {
+	d := MustParse(`<!ELEMENT a (b, c)><!ELEMENT b EMPTY>`)
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), `undeclared "c"`) {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT a (b)><!ELEMENT b EMPTY>
+<!ELEMENT orphan (b)>
+`)
+	r := d.Reachable()
+	if !r["a"] || !r["b"] || r["orphan"] {
+		t.Errorf("Reachable = %v", r)
+	}
+}
+
+func TestSelfLoopRecursion(t *testing.T) {
+	d := MustParse(`<!ELEMENT a (a | b)><!ELEMENT b EMPTY>`)
+	rec := d.RecursiveElements()
+	if !rec["a"] || rec["b"] {
+		t.Errorf("RecursiveElements = %v", rec)
+	}
+}
+
+func TestOccurrenceString(t *testing.T) {
+	d := MustParse(`<!ELEMENT a (b?, c*, d+, e)><!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY><!ELEMENT e EMPTY>`)
+	got := d.Element("a").Model.String()
+	want := "(b?, c*, d+, e)"
+	if got != want {
+		t.Errorf("Model = %q, want %q", got, want)
+	}
+}

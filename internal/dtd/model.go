@@ -1,0 +1,305 @@
+// Package dtd implements a Document Type Definition parser and the
+// structural analyses the routing system needs: the element containment
+// graph, leaf detection, and recursion detection. Advertisements are derived
+// from a DTD by package advert; conforming documents are generated from a
+// DTD by package gen.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Occurrence is the repetition modifier attached to a content particle.
+type Occurrence byte
+
+const (
+	// One means the particle appears exactly once (no modifier).
+	One Occurrence = iota
+	// Optional is the "?" modifier.
+	Optional
+	// ZeroOrMore is the "*" modifier.
+	ZeroOrMore
+	// OneOrMore is the "+" modifier.
+	OneOrMore
+)
+
+// String returns the DTD spelling of the modifier.
+func (o Occurrence) String() string {
+	switch o {
+	case Optional:
+		return "?"
+	case ZeroOrMore:
+		return "*"
+	case OneOrMore:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// ParticleKind distinguishes the node types of a content model tree.
+type ParticleKind byte
+
+const (
+	// NameParticle is a reference to a child element by name.
+	NameParticle ParticleKind = iota
+	// SeqParticle is a sequence group "(a, b, c)".
+	SeqParticle
+	// ChoiceParticle is a choice group "(a | b | c)".
+	ChoiceParticle
+)
+
+// Particle is a node of a content model tree.
+type Particle struct {
+	Kind     ParticleKind
+	Name     string      // for NameParticle
+	Children []*Particle // for SeqParticle and ChoiceParticle
+	Occ      Occurrence
+}
+
+// String renders the particle in DTD syntax.
+func (p *Particle) String() string {
+	var b strings.Builder
+	p.write(&b)
+	return b.String()
+}
+
+func (p *Particle) write(b *strings.Builder) {
+	switch p.Kind {
+	case NameParticle:
+		b.WriteString(p.Name)
+	case SeqParticle, ChoiceParticle:
+		sep := ", "
+		if p.Kind == ChoiceParticle {
+			sep = " | "
+		}
+		b.WriteByte('(')
+		for i, c := range p.Children {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			c.write(b)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteString(p.Occ.String())
+}
+
+// ContentKind classifies an element declaration's content specification.
+type ContentKind byte
+
+const (
+	// EmptyContent is EMPTY.
+	EmptyContent ContentKind = iota
+	// AnyContent is ANY.
+	AnyContent
+	// MixedContent is (#PCDATA | a | b)* or (#PCDATA).
+	MixedContent
+	// ChildrenContent is an element content model.
+	ChildrenContent
+)
+
+// Attr is a single attribute declaration from an ATTLIST. Attribute routing
+// is outside the paper's scope; attributes are recorded for completeness and
+// used by the document generator.
+type Attr struct {
+	Name    string
+	Type    string // CDATA, ID, IDREF, NMTOKEN, enumeration source text, ...
+	Default string // #REQUIRED, #IMPLIED, #FIXED "v", or a literal default
+}
+
+// Element is a parsed element declaration.
+type Element struct {
+	Name    string
+	Content ContentKind
+	// Model is the content model tree for ChildrenContent, or nil.
+	Model *Particle
+	// MixedNames lists the element names admitted by MixedContent.
+	MixedNames []string
+	// Attrs holds attribute declarations from ATTLISTs, in order.
+	Attrs []Attr
+}
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	// Root is the document root element. Parse sets it to the first declared
+	// element; it may be overridden.
+	Root string
+	// Elements maps element names to declarations.
+	Elements map[string]*Element
+	// order preserves declaration order for deterministic iteration.
+	order []string
+}
+
+// Names returns all declared element names in declaration order.
+func (d *DTD) Names() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Element returns the declaration for name, or nil.
+func (d *DTD) Element(name string) *Element { return d.Elements[name] }
+
+// Children returns the distinct element names that may appear as direct
+// children of name, in deterministic order. For AnyContent it returns all
+// declared elements.
+func (d *DTD) Children(name string) []string {
+	el := d.Elements[name]
+	if el == nil {
+		return nil
+	}
+	switch el.Content {
+	case EmptyContent:
+		return nil
+	case AnyContent:
+		return d.Names()
+	case MixedContent:
+		out := make([]string, len(el.MixedNames))
+		copy(out, el.MixedNames)
+		return out
+	default:
+		seen := make(map[string]bool)
+		var out []string
+		var walk func(*Particle)
+		walk = func(p *Particle) {
+			if p == nil {
+				return
+			}
+			if p.Kind == NameParticle {
+				if !seen[p.Name] {
+					seen[p.Name] = true
+					out = append(out, p.Name)
+				}
+				return
+			}
+			for _, c := range p.Children {
+				walk(c)
+			}
+		}
+		walk(el.Model)
+		return out
+	}
+}
+
+// IsLeaf reports whether name can have no element children (EMPTY content or
+// text-only mixed content).
+func (d *DTD) IsLeaf(name string) bool {
+	return len(d.Children(name)) == 0
+}
+
+// Validate checks that every element referenced in a content model is
+// declared and that the root is declared. It returns a single error listing
+// all problems.
+func (d *DTD) Validate() error {
+	var problems []string
+	if d.Root == "" {
+		problems = append(problems, "no root element")
+	} else if d.Elements[d.Root] == nil {
+		problems = append(problems, fmt.Sprintf("root element %q not declared", d.Root))
+	}
+	for _, name := range d.order {
+		for _, c := range d.Children(name) {
+			if d.Elements[c] == nil {
+				problems = append(problems, fmt.Sprintf("element %q references undeclared %q", name, c))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("dtd: invalid: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// Reachable returns the set of elements reachable from the root through the
+// containment graph, including the root itself.
+func (d *DTD) Reachable() map[string]bool {
+	seen := make(map[string]bool)
+	var visit func(string)
+	visit = func(n string) {
+		if seen[n] || d.Elements[n] == nil {
+			return
+		}
+		seen[n] = true
+		for _, c := range d.Children(n) {
+			visit(c)
+		}
+	}
+	visit(d.Root)
+	return seen
+}
+
+// RecursiveElements returns the set of elements that participate in a cycle
+// of the containment graph restricted to elements reachable from the root.
+// The DTD is recursive (in the paper's sense) iff the result is non-empty.
+func (d *DTD) RecursiveElements() map[string]bool {
+	reach := d.Reachable()
+	// Tarjan-style strongly connected components; an element is recursive if
+	// its SCC has size > 1 or it has a self-loop.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	out := make(map[string]bool)
+
+	var strongConnect func(v string)
+	strongConnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range d.Children(v) {
+			if !reach[w] {
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strongConnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+			if w == v {
+				out[v] = true // self-loop
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				for _, w := range comp {
+					out[w] = true
+				}
+			}
+		}
+	}
+	for _, n := range d.order {
+		if !reach[n] {
+			continue
+		}
+		if _, seen := index[n]; !seen {
+			strongConnect(n)
+		}
+	}
+	return out
+}
+
+// IsRecursive reports whether the containment graph reachable from the root
+// contains a cycle.
+func (d *DTD) IsRecursive() bool {
+	return len(d.RecursiveElements()) > 0
+}

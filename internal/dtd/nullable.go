@@ -1,0 +1,47 @@
+package dtd
+
+// Nullable reports whether the particle can match the empty element sequence
+// (i.e. an element with this content model may have no element children).
+func (p *Particle) Nullable() bool {
+	if p == nil {
+		return true
+	}
+	if p.Occ == Optional || p.Occ == ZeroOrMore {
+		return true
+	}
+	switch p.Kind {
+	case NameParticle:
+		return false
+	case ChoiceParticle:
+		for _, c := range p.Children {
+			if c.Nullable() {
+				return true
+			}
+		}
+		return false
+	default: // SeqParticle
+		for _, c := range p.Children {
+			if !c.Nullable() {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// CanBeChildless reports whether an element with the given name may appear in
+// a conforming document with no element children, making it a possible
+// terminus of a root-to-leaf path. EMPTY, ANY, and mixed content can always
+// be childless; element content can iff its model is nullable.
+func (d *DTD) CanBeChildless(name string) bool {
+	el := d.Elements[name]
+	if el == nil {
+		return false
+	}
+	switch el.Content {
+	case EmptyContent, AnyContent, MixedContent:
+		return true
+	default:
+		return el.Model.Nullable()
+	}
+}

@@ -1,0 +1,38 @@
+package dtd
+
+import "testing"
+
+func TestNullable(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT root (strict, loose, mix, empty, anyel)>
+<!ELEMENT strict (a, b+)>
+<!ELEMENT loose (a?, b*)>
+<!ELEMENT mix (#PCDATA | a)*>
+<!ELEMENT empty EMPTY>
+<!ELEMENT anyel ANY>
+<!ELEMENT choicey (a | b?)>
+<!ELEMENT groupopt ((a, b))?>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`)
+	tests := []struct {
+		name string
+		want bool
+	}{
+		{"root", false},
+		{"strict", false},
+		{"loose", true},
+		{"mix", true},
+		{"empty", true},
+		{"anyel", true},
+		{"choicey", true}, // the choice can pick b?, which is optional
+		{"groupopt", true},
+		{"a", true},
+		{"undeclared", false},
+	}
+	for _, tt := range tests {
+		if got := d.CanBeChildless(tt.name); got != tt.want {
+			t.Errorf("CanBeChildless(%q) = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses DTD text. It supports ELEMENT and ATTLIST declarations, the
+// full element content-model grammar (sequence, choice, "?"/"*"/"+"
+// modifiers, nesting), EMPTY/ANY/mixed content, comments, processing
+// instructions, and textual parameter entities ("<!ENTITY % n '...'>" with
+// "%n;" references). The first declared element becomes the root.
+func Parse(text string) (*DTD, error) {
+	expanded, err := expandParameterEntities(text)
+	if err != nil {
+		return nil, err
+	}
+	d := &DTD{Elements: make(map[string]*Element)}
+	s := &scanner{src: expanded}
+	for {
+		s.skipSpaceAndComments()
+		if s.eof() {
+			break
+		}
+		switch {
+		case s.consume("<!ELEMENT"):
+			if err := parseElement(s, d); err != nil {
+				return nil, err
+			}
+		case s.consume("<!ATTLIST"):
+			if err := parseAttlist(s, d); err != nil {
+				return nil, err
+			}
+		case s.consume("<!ENTITY"):
+			// General entities (and already-expanded parameter entities) are
+			// skipped; they do not affect the containment graph.
+			if err := s.skipToDeclEnd(); err != nil {
+				return nil, err
+			}
+		case s.consume("<!NOTATION"):
+			if err := s.skipToDeclEnd(); err != nil {
+				return nil, err
+			}
+		case s.consume("<?"):
+			if !s.skipPast("?>") {
+				return nil, s.errorf("unterminated processing instruction")
+			}
+		default:
+			return nil, s.errorf("unexpected input %q", s.peekContext())
+		}
+	}
+	if len(d.order) == 0 {
+		return nil, fmt.Errorf("dtd: no element declarations")
+	}
+	if d.Root == "" {
+		d.Root = d.order[0]
+	}
+	return d, nil
+}
+
+// MustParse is Parse for statically known DTDs; it panics on error.
+func MustParse(text string) *DTD {
+	d, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// expandParameterEntities collects <!ENTITY % name "value"> declarations and
+// textually replaces %name; references, iterating to support entities that
+// reference other entities. Expansion depth is bounded to reject cycles.
+func expandParameterEntities(text string) (string, error) {
+	entities := make(map[string]string)
+	// Collect declarations with a light scan; declarations themselves may not
+	// contain the '>' character inside the quoted value per XML rules.
+	s := &scanner{src: text}
+	for {
+		i := strings.Index(s.src[s.pos:], "<!ENTITY")
+		if i < 0 {
+			break
+		}
+		s.pos += i + len("<!ENTITY")
+		s.skipSpace()
+		if !s.consume("%") {
+			continue // general entity; leave in place
+		}
+		s.skipSpace()
+		name, err := s.name()
+		if err != nil {
+			return "", fmt.Errorf("dtd: parameter entity: %w", err)
+		}
+		s.skipSpace()
+		val, err := s.quoted()
+		if err != nil {
+			return "", fmt.Errorf("dtd: parameter entity %q: %w", name, err)
+		}
+		entities[name] = val
+		s.skipSpace()
+		if !s.consume(">") {
+			return "", fmt.Errorf("dtd: parameter entity %q: missing '>'", name)
+		}
+	}
+	if len(entities) == 0 {
+		return text, nil
+	}
+	out := text
+	for depth := 0; strings.Contains(out, "%"); depth++ {
+		if depth > 32 {
+			return "", fmt.Errorf("dtd: parameter entity expansion too deep (cycle?)")
+		}
+		changed := false
+		for name, val := range entities {
+			ref := "%" + name + ";"
+			if strings.Contains(out, ref) {
+				out = strings.ReplaceAll(out, ref, val)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return out, nil
+}
+
+func parseElement(s *scanner, d *DTD) error {
+	s.skipSpace()
+	name, err := s.name()
+	if err != nil {
+		return s.errorf("element declaration: %w", err)
+	}
+	s.skipSpace()
+	el := &Element{Name: name}
+	switch {
+	case s.consume("EMPTY"):
+		el.Content = EmptyContent
+	case s.consume("ANY"):
+		el.Content = AnyContent
+	case s.peekByte() == '(':
+		kind, model, mixed, err := parseContentSpec(s)
+		if err != nil {
+			return fmt.Errorf("dtd: element %q: %w", name, err)
+		}
+		el.Content = kind
+		el.Model = model
+		el.MixedNames = mixed
+	default:
+		return s.errorf("element %q: expected content specification", name)
+	}
+	s.skipSpace()
+	if !s.consume(">") {
+		return s.errorf("element %q: missing '>'", name)
+	}
+	if prev := d.Elements[name]; prev != nil {
+		return fmt.Errorf("dtd: element %q declared twice", name)
+	}
+	d.Elements[name] = el
+	d.order = append(d.order, name)
+	return nil
+}
+
+// parseContentSpec parses either a mixed-content spec or an element content
+// model, starting at '('.
+func parseContentSpec(s *scanner) (ContentKind, *Particle, []string, error) {
+	save := s.pos
+	s.consume("(")
+	s.skipSpace()
+	if s.consume("#PCDATA") {
+		var mixed []string
+		for {
+			s.skipSpace()
+			if s.consume(")") {
+				s.consume("*") // (#PCDATA)* and (#PCDATA) are both legal
+				return MixedContent, nil, mixed, nil
+			}
+			if !s.consume("|") {
+				return 0, nil, nil, s.errorf("mixed content: expected '|' or ')'")
+			}
+			s.skipSpace()
+			n, err := s.name()
+			if err != nil {
+				return 0, nil, nil, fmt.Errorf("mixed content: %w", err)
+			}
+			mixed = append(mixed, n)
+		}
+	}
+	s.pos = save
+	p, err := parseGroup(s)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return ChildrenContent, p, nil, nil
+}
+
+// parseGroup parses "(cp (sep cp)*) occ?" where sep is ',' or '|'.
+func parseGroup(s *scanner) (*Particle, error) {
+	if !s.consume("(") {
+		return nil, s.errorf("expected '('")
+	}
+	var children []*Particle
+	kind := SeqParticle
+	first := true
+	for {
+		s.skipSpace()
+		cp, err := parseCP(s)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, cp)
+		s.skipSpace()
+		switch {
+		case s.consume(")"):
+			p := &Particle{Kind: kind, Children: children, Occ: parseOcc(s)}
+			return p, nil
+		case s.consume(","):
+			if !first && kind != SeqParticle {
+				return nil, s.errorf("mixed ',' and '|' in one group")
+			}
+			kind = SeqParticle
+		case s.consume("|"):
+			if !first && kind != ChoiceParticle {
+				return nil, s.errorf("mixed ',' and '|' in one group")
+			}
+			kind = ChoiceParticle
+		default:
+			return nil, s.errorf("expected ',', '|' or ')'")
+		}
+		first = false
+	}
+}
+
+// parseCP parses a content particle: a name or a nested group, with an
+// optional occurrence modifier.
+func parseCP(s *scanner) (*Particle, error) {
+	if s.peekByte() == '(' {
+		return parseGroup(s)
+	}
+	n, err := s.name()
+	if err != nil {
+		return nil, err
+	}
+	return &Particle{Kind: NameParticle, Name: n, Occ: parseOcc(s)}, nil
+}
+
+func parseOcc(s *scanner) Occurrence {
+	switch {
+	case s.consume("?"):
+		return Optional
+	case s.consume("*"):
+		return ZeroOrMore
+	case s.consume("+"):
+		return OneOrMore
+	default:
+		return One
+	}
+}
+
+func parseAttlist(s *scanner, d *DTD) error {
+	s.skipSpace()
+	elName, err := s.name()
+	if err != nil {
+		return s.errorf("attlist: %w", err)
+	}
+	for {
+		s.skipSpace()
+		if s.consume(">") {
+			return nil
+		}
+		attr := Attr{}
+		attr.Name, err = s.name()
+		if err != nil {
+			return s.errorf("attlist %q: attribute name: %w", elName, err)
+		}
+		s.skipSpace()
+		// Attribute type: a keyword, NOTATION group, or enumeration group.
+		if s.peekByte() == '(' {
+			start := s.pos
+			if !s.skipPast(")") {
+				return s.errorf("attlist %q: unterminated enumeration", elName)
+			}
+			attr.Type = strings.TrimSpace(s.src[start:s.pos])
+		} else {
+			attr.Type, err = s.name()
+			if err != nil {
+				return s.errorf("attlist %q: attribute type: %w", elName, err)
+			}
+			if attr.Type == "NOTATION" {
+				s.skipSpace()
+				start := s.pos
+				if !s.skipPast(")") {
+					return s.errorf("attlist %q: unterminated NOTATION group", elName)
+				}
+				attr.Type += " " + strings.TrimSpace(s.src[start:s.pos])
+			}
+		}
+		s.skipSpace()
+		switch {
+		case s.consume("#REQUIRED"):
+			attr.Default = "#REQUIRED"
+		case s.consume("#IMPLIED"):
+			attr.Default = "#IMPLIED"
+		case s.consume("#FIXED"):
+			s.skipSpace()
+			v, err := s.quoted()
+			if err != nil {
+				return s.errorf("attlist %q: #FIXED value: %w", elName, err)
+			}
+			attr.Default = "#FIXED " + v
+		default:
+			v, err := s.quoted()
+			if err != nil {
+				return s.errorf("attlist %q: default value: %w", elName, err)
+			}
+			attr.Default = v
+		}
+		if el := d.Elements[elName]; el != nil {
+			el.Attrs = append(el.Attrs, attr)
+		}
+		// ATTLISTs for undeclared elements are tolerated and dropped; real
+		// DTDs order declarations freely. A second pass is avoided because
+		// the routing system never needs attributes of undeclared elements.
+	}
+}
+
+// scanner is a minimal cursor over the DTD source.
+type scanner struct {
+	src string
+	pos int
+}
+
+func (s *scanner) eof() bool { return s.pos >= len(s.src) }
+
+func (s *scanner) peekByte() byte {
+	if s.eof() {
+		return 0
+	}
+	return s.src[s.pos]
+}
+
+func (s *scanner) consume(tok string) bool {
+	if strings.HasPrefix(s.src[s.pos:], tok) {
+		s.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (s *scanner) skipSpace() {
+	for !s.eof() {
+		switch s.src[s.pos] {
+		case ' ', '\t', '\n', '\r':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (s *scanner) skipSpaceAndComments() {
+	for {
+		s.skipSpace()
+		if s.consume("<!--") {
+			if !s.skipPast("-->") {
+				s.pos = len(s.src)
+			}
+			continue
+		}
+		return
+	}
+}
+
+// skipPast advances just past the next occurrence of tok, reporting whether
+// it was found.
+func (s *scanner) skipPast(tok string) bool {
+	i := strings.Index(s.src[s.pos:], tok)
+	if i < 0 {
+		return false
+	}
+	s.pos += i + len(tok)
+	return true
+}
+
+func (s *scanner) skipToDeclEnd() error {
+	if !s.skipPast(">") {
+		return s.errorf("unterminated declaration")
+	}
+	return nil
+}
+
+func (s *scanner) name() (string, error) {
+	start := s.pos
+	for !s.eof() {
+		c := s.src[s.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '.' || c == '-' || c == '_' || c == ':' || c == '#' {
+			s.pos++
+			continue
+		}
+		break
+	}
+	if s.pos == start {
+		return "", fmt.Errorf("expected name at offset %d (near %q)", s.pos, s.peekContext())
+	}
+	return s.src[start:s.pos], nil
+}
+
+func (s *scanner) quoted() (string, error) {
+	q := s.peekByte()
+	if q != '"' && q != '\'' {
+		return "", fmt.Errorf("expected quoted string at offset %d", s.pos)
+	}
+	s.pos++
+	start := s.pos
+	i := strings.IndexByte(s.src[s.pos:], q)
+	if i < 0 {
+		return "", fmt.Errorf("unterminated string at offset %d", start)
+	}
+	s.pos += i + 1
+	return s.src[start : s.pos-1], nil
+}
+
+func (s *scanner) peekContext() string {
+	end := s.pos + 24
+	if end > len(s.src) {
+		end = len(s.src)
+	}
+	return s.src[s.pos:end]
+}
+
+func (s *scanner) errorf(format string, args ...any) error {
+	return fmt.Errorf("dtd: offset %d: %w", s.pos, fmt.Errorf(format, args...))
+}

@@ -1,0 +1,46 @@
+// Package dtddata embeds the two DTD corpora used throughout the evaluation:
+// a recursive NITF-like news schema and a non-recursive PSD-like protein
+// schema. Both are synthetic stand-ins for the proprietary DTDs the paper
+// used; DESIGN.md documents why the substitution preserves the experiments'
+// behaviour.
+package dtddata
+
+import (
+	_ "embed"
+	"sync"
+
+	"repro/internal/dtd"
+)
+
+//go:embed nitf.dtd
+var nitfText string
+
+//go:embed psd.dtd
+var psdText string
+
+// NITFText returns the raw NITF-like DTD source.
+func NITFText() string { return nitfText }
+
+// PSDText returns the raw PSD-like DTD source.
+func PSDText() string { return psdText }
+
+var (
+	nitfOnce sync.Once
+	nitfDTD  *dtd.DTD
+	psdOnce  sync.Once
+	psdDTD   *dtd.DTD
+)
+
+// NITF returns the parsed NITF-like DTD. The result is shared; callers must
+// not mutate it.
+func NITF() *dtd.DTD {
+	nitfOnce.Do(func() { nitfDTD = dtd.MustParse(nitfText) })
+	return nitfDTD
+}
+
+// PSD returns the parsed PSD-like DTD. The result is shared; callers must
+// not mutate it.
+func PSD() *dtd.DTD {
+	psdOnce.Do(func() { psdDTD = dtd.MustParse(psdText) })
+	return psdDTD
+}

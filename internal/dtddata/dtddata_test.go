@@ -1,0 +1,47 @@
+package dtddata
+
+import "testing"
+
+func TestPSDParsesAndValidates(t *testing.T) {
+	d := PSD()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "ProteinDatabase" {
+		t.Errorf("root = %q", d.Root)
+	}
+	if d.IsRecursive() {
+		t.Error("PSD-like DTD must be non-recursive")
+	}
+	if n := len(d.Names()); n < 40 {
+		t.Errorf("PSD-like DTD has %d elements, want >= 40", n)
+	}
+}
+
+func TestNITFParsesAndValidates(t *testing.T) {
+	d := NITF()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "nitf" {
+		t.Errorf("root = %q", d.Root)
+	}
+	if !d.IsRecursive() {
+		t.Error("NITF-like DTD must be recursive")
+	}
+	rec := d.RecursiveElements()
+	for _, want := range []string{"em", "block", "bq", "block-quote", "dl", "dd"} {
+		if !rec[want] {
+			t.Errorf("element %q should be recursive; got %v", want, rec)
+		}
+	}
+	if n := len(d.Names()); n < 100 {
+		t.Errorf("NITF-like DTD has %d elements, want >= 100", n)
+	}
+}
+
+func TestSharedInstances(t *testing.T) {
+	if NITF() != NITF() || PSD() != PSD() {
+		t.Error("parsed DTDs should be shared singletons")
+	}
+}

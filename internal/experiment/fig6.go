@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"repro/internal/dtddata"
+	"repro/internal/subtree"
+	"repro/internal/xpath"
+)
+
+// Fig6Options sizes the routing-table-size experiment. The paper inserts
+// 100,000 NITF XPEs; the default here is 6,000 (see EXPERIMENTS.md on
+// scale), with measurement checkpoints along the way as in Figure 6.
+type Fig6Options struct {
+	// N is the total number of XPEs per set (default 6000).
+	N int
+	// Checkpoints is the number of x-axis measurement points (default 10).
+	Checkpoints int
+	// RateA and RateB are the covering rates of Sets A and B (paper: 0.9
+	// and 0.5).
+	RateA, RateB float64
+	// Seed fixes the workloads.
+	Seed int64
+}
+
+func (o *Fig6Options) defaults() {
+	if o.N <= 0 {
+		o.N = 6000
+	}
+	if o.Checkpoints <= 0 {
+		o.Checkpoints = 10
+	}
+	if o.RateA == 0 {
+		o.RateA = 0.9
+	}
+	if o.RateB == 0 {
+		o.RateB = 0.5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Fig6Result holds the routing-table-size series of Figure 6.
+type Fig6Result struct {
+	N          []int // x axis: number of XPEs inserted
+	NoCovering []int // table size without covering (== N)
+	CoveringA  []int // table size with covering, Set A
+	CoveringB  []int // table size with covering, Set B
+	RateA      float64
+	RateB      float64
+}
+
+// RunFig6 reproduces Figure 6: routing table size as XPEs arrive, with and
+// without the covering optimisation, on a high-overlap set (A) and a
+// lower-overlap set (B). With covering, an arriving XPE covered by the
+// table is not stored (it would not be forwarded to this downstream
+// broker), and an arriving XPE that covers stored ones evicts them.
+func RunFig6(opts Fig6Options) (*Fig6Result, error) {
+	opts.defaults()
+	setA, err := BuildCoveringSet(dtddata.NITF(), opts.N, opts.RateA, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	setB, err := BuildCoveringSet(dtddata.NITF(), opts.N, opts.RateB, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{RateA: setA.MeasuredRate, RateB: setB.MeasuredRate}
+	step := opts.N / opts.Checkpoints
+	if step == 0 {
+		step = 1
+	}
+
+	sizesA := coveringTableSizes(setA.XPEs, step)
+	sizesB := coveringTableSizes(setB.XPEs, step)
+	for i := 0; i < len(sizesA) && i < len(sizesB); i++ {
+		n := (i + 1) * step
+		res.N = append(res.N, n)
+		res.NoCovering = append(res.NoCovering, n)
+		res.CoveringA = append(res.CoveringA, sizesA[i])
+		res.CoveringB = append(res.CoveringB, sizesB[i])
+	}
+	return res, nil
+}
+
+// coveringTableSizes simulates a downstream covering-based routing table:
+// covered arrivals are rejected, covering arrivals evict what they cover.
+// It returns the table size at every step-th insertion.
+func coveringTableSizes(xpes []*xpath.XPE, step int) []int {
+	tree := subtree.New()
+	var sizes []int
+	for i, x := range xpes {
+		insertCovering(tree, x)
+		if (i+1)%step == 0 {
+			sizes = append(sizes, tree.Size())
+		}
+	}
+	return sizes
+}
+
+// insertCovering applies the covering discipline to a table: drop covered
+// arrivals, evict newly covered entries.
+func insertCovering(tree *subtree.Tree, x *xpath.XPE) {
+	if tree.IsCovered(x) {
+		return
+	}
+	res := tree.Insert(x)
+	for _, covered := range res.NewlyCovered {
+		tree.Remove(covered)
+	}
+}
+
+// Table renders the result in the shape of Figure 6.
+func (r *Fig6Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 6 — Routing table size vs. number of XPath queries (NITF)",
+		Columns: []string{"#XPEs", "NoCovering", "Covering(SetA)", "Covering(SetB)"},
+		Notes: []string{
+			"Set A measured covering rate: " + fpct(r.RateA),
+			"Set B measured covering rate: " + fpct(r.RateB),
+		},
+	}
+	for i := range r.N {
+		t.AddRow(fint(r.N[i]), fint(r.NoCovering[i]), fint(r.CoveringA[i]), fint(r.CoveringB[i]))
+	}
+	return t
+}

@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"repro/internal/dtddata"
+	"repro/internal/merge"
+	"repro/internal/subtree"
+	"repro/internal/xpath"
+)
+
+// Fig7Options sizes the merging experiment (paper: Set B, 100,000 XPEs;
+// default 6,000 here).
+type Fig7Options struct {
+	N           int
+	Checkpoints int
+	Rate        float64 // covering rate of the input set (paper: Set B, 0.5)
+	// ImperfectDegree is the D_imperfect tolerance of the imperfect series
+	// (paper: 0.1).
+	ImperfectDegree float64
+	Seed            int64
+}
+
+func (o *Fig7Options) defaults() {
+	if o.N <= 0 {
+		o.N = 6000
+	}
+	if o.Checkpoints <= 0 {
+		o.Checkpoints = 10
+	}
+	if o.Rate == 0 {
+		o.Rate = 0.5
+	}
+	if o.ImperfectDegree == 0 {
+		o.ImperfectDegree = 0.1
+	}
+	if o.Seed == 0 {
+		o.Seed = 2
+	}
+}
+
+// Fig7Result holds the Figure 7 series: table size under covering alone,
+// covering plus perfect merging, and covering plus imperfect merging.
+type Fig7Result struct {
+	N                []int
+	Covering         []int
+	PerfectMerging   []int
+	ImperfectMerging []int
+	Rate             float64
+	Degree           float64
+}
+
+// RunFig7 reproduces Figure 7 on a Set-B-like workload: merging compacts
+// the covering-based routing table further, and tolerating an imperfect
+// degree compacts it more.
+func RunFig7(opts Fig7Options) (*Fig7Result, error) {
+	opts.defaults()
+	set, err := BuildCoveringSet(dtddata.NITF(), opts.N, opts.Rate, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	est := merge.NewDegreeEstimator(GenerateAdvertisements(dtddata.NITF()), 10, 4000)
+	res := &Fig7Result{Rate: set.MeasuredRate, Degree: opts.ImperfectDegree}
+	step := opts.N / opts.Checkpoints
+	if step == 0 {
+		step = 1
+	}
+	res.Covering = mergingTableSizes(set.XPEs, step, nil, 0)
+	res.PerfectMerging = mergingTableSizes(set.XPEs, step, est, 0)
+	res.ImperfectMerging = mergingTableSizes(set.XPEs, step, est, opts.ImperfectDegree)
+	for i := 1; i <= len(res.Covering); i++ {
+		res.N = append(res.N, i*step)
+	}
+	return res, nil
+}
+
+// mergingTableSizes builds a covering table and, when an estimator is given,
+// runs a merge pass at every checkpoint before measuring, as the paper's
+// periodic merging does.
+func mergingTableSizes(xpes []*xpath.XPE, step int, est *merge.DegreeEstimator, maxDegree float64) []int {
+	tree := subtree.New()
+	var sizes []int
+	for i, x := range xpes {
+		insertCovering(tree, x)
+		if (i+1)%step == 0 {
+			if est != nil {
+				merge.Pass(tree, merge.Options{MaxDegree: maxDegree, Estimator: est})
+			}
+			sizes = append(sizes, tree.Size())
+		}
+	}
+	return sizes
+}
+
+// Table renders the result in the shape of Figure 7.
+func (r *Fig7Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 7 — Routing table size with merging (NITF, Set B)",
+		Columns: []string{"#XPEs", "Covering", "PerfectMerging", "ImperfectMerging"},
+		Notes: []string{
+			"measured covering rate: " + fpct(r.Rate),
+			"imperfect degree tolerance: " + ffrac(r.Degree),
+		},
+	}
+	for i := range r.N {
+		t.AddRow(fint(r.N[i]), fint(r.Covering[i]), fint(r.PerfectMerging[i]), fint(r.ImperfectMerging[i]))
+	}
+	return t
+}

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/dtddata"
+)
+
+func nitfForTest() *dtd.DTD { return dtddata.NITF() }
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Caption: "Demo table",
+		Columns: []string{"Method", "Value"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("covering", "42")
+	tab.AddRow("a-much-longer-method-name", "7")
+	out := tab.String()
+	if !strings.Contains(out, "Demo table") {
+		t.Error("caption missing")
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("note missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Caption, header, rule, two rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "42" and "7" start at the same offset.
+	r1 := lines[3]
+	r2 := lines[4]
+	if strings.Index(r1, "42") != strings.Index(r2, "7") {
+		t.Errorf("columns misaligned:\n%s\n%s", r1, r2)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if fms(1.2345) != "1.234" && fms(1.2345) != "1.235" {
+		t.Errorf("fms = %q", fms(1.2345))
+	}
+	if fint(42) != "42" || f64(7) != "7" {
+		t.Error("integer formatting broken")
+	}
+	if fpct(0.5) != "50.0%" {
+		t.Errorf("fpct = %q", fpct(0.5))
+	}
+	if ffrac(0.125) != "0.125" {
+		t.Errorf("ffrac = %q", ffrac(0.125))
+	}
+}
+
+func TestUncoveredHelper(t *testing.T) {
+	set, err := BuildCoveringSet(nitfForTest(), 500, 0.6, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un := Uncovered(set.XPEs)
+	want := int(float64(len(set.XPEs)) * (1 - set.MeasuredRate))
+	if len(un) != want {
+		t.Errorf("Uncovered = %d, want %d", len(un), want)
+	}
+}

@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/dtddata"
+	"repro/internal/gen"
+	"repro/internal/merge"
+	"repro/internal/subtree"
+	"repro/internal/xmldoc"
+)
+
+// Table1Options sizes the publication-routing-time experiment (paper:
+// 100,000 XPEs and 23,098 publications extracted from 500 documents;
+// defaults here are 6,000 XPEs and 500 documents).
+type Table1Options struct {
+	N               int     // XPEs per set (default 20000)
+	Docs            int     // documents to extract publications from (default 500)
+	RateA, RateB    float64 // covering rates of the two sets
+	ImperfectDegree float64 // tolerance of the imperfect-merging row (default 0.1)
+	Seed            int64
+}
+
+func (o *Table1Options) defaults() {
+	if o.N <= 0 {
+		o.N = 6000
+	}
+	if o.Docs <= 0 {
+		o.Docs = 500
+	}
+	if o.RateA == 0 {
+		o.RateA = 0.9
+	}
+	if o.RateB == 0 {
+		o.RateB = 0.5
+	}
+	if o.ImperfectDegree == 0 {
+		o.ImperfectDegree = 0.1
+	}
+	if o.Seed == 0 {
+		o.Seed = 4
+	}
+}
+
+// Table1Result holds mean per-publication routing times in milliseconds for
+// the paper's four methods on Sets A and B.
+type Table1Result struct {
+	Publications int
+	SetA, SetB   struct {
+		NoCovering       float64
+		Covering         float64
+		PerfectMerging   float64
+		ImperfectMerging float64
+		TableNoCov       int
+		TableCov         int
+		TablePM          int
+		TableIPM         int
+	}
+	RateA, RateB float64
+}
+
+// RunTable1 reproduces Table 1: the time to route publications against a
+// large subscription table, under no covering (flat table, full scan),
+// covering (compacted table, pruned tree matching), and covering plus
+// perfect/imperfect merging.
+func RunTable1(opts Table1Options) (*Table1Result, error) {
+	opts.defaults()
+	setA, err := BuildCoveringSet(dtddata.NITF(), opts.N, opts.RateA, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	setB, err := BuildCoveringSet(dtddata.NITF(), opts.N, opts.RateB, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Publications extracted from generated NITF documents.
+	dg := gen.NewDocGenerator(dtddata.NITF(), opts.Seed+2)
+	dg.AvgRepeat = 1.5
+	var pubs []xmldoc.Publication
+	for i := 0; i < opts.Docs; i++ {
+		doc := dg.Generate()
+		pubs = append(pubs, xmldoc.Extract(doc, uint64(i))...)
+	}
+
+	est := merge.NewDegreeEstimator(GenerateAdvertisements(dtddata.NITF()), 10, 4000)
+	res := &Table1Result{Publications: len(pubs), RateA: setA.MeasuredRate, RateB: setB.MeasuredRate}
+
+	measure := func(set *CoveringSet, out *struct {
+		NoCovering       float64
+		Covering         float64
+		PerfectMerging   float64
+		ImperfectMerging float64
+		TableNoCov       int
+		TableCov         int
+		TablePM          int
+		TableIPM         int
+	}) {
+		// No covering: flat table, every publication scanned against every
+		// XPE.
+		flat := subtree.New()
+		for _, x := range set.XPEs {
+			flat.FlatInsert(x)
+		}
+		out.TableNoCov = flat.Size()
+		out.NoCovering = routeAll(flat, pubs)
+
+		// Covering: the downstream table holds only uncovered XPEs and
+		// matching prunes subtrees.
+		covTree := subtree.New()
+		for _, x := range set.XPEs {
+			insertCovering(covTree, x)
+		}
+		out.TableCov = covTree.Size()
+		out.Covering = routeAll(covTree, pubs)
+
+		// Perfect merging on top of covering.
+		pmTree := subtree.New()
+		for _, x := range set.XPEs {
+			insertCovering(pmTree, x)
+		}
+		merge.PassToFixpoint(pmTree, merge.Options{MaxDegree: 0, Estimator: est})
+		out.TablePM = pmTree.Size()
+		out.PerfectMerging = routeAll(pmTree, pubs)
+
+		// Imperfect merging.
+		ipmTree := subtree.New()
+		for _, x := range set.XPEs {
+			insertCovering(ipmTree, x)
+		}
+		merge.PassToFixpoint(ipmTree, merge.Options{MaxDegree: opts.ImperfectDegree, Estimator: est})
+		out.TableIPM = ipmTree.Size()
+		out.ImperfectMerging = routeAll(ipmTree, pubs)
+	}
+	measure(setA, &res.SetA)
+	measure(setB, &res.SetB)
+	return res, nil
+}
+
+// routeAll matches every publication against the table and returns the mean
+// per-publication routing time in milliseconds.
+func routeAll(tree *subtree.Tree, pubs []xmldoc.Publication) float64 {
+	if len(pubs) == 0 {
+		return 0
+	}
+	sink := 0
+	start := time.Now()
+	for i := range pubs {
+		tree.MatchPath(pubs[i].Path, func(n *subtree.Node) { sink++ })
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	return float64(elapsed) / float64(len(pubs)) / float64(time.Millisecond)
+}
+
+// Table renders the result in the shape of Table 1.
+func (r *Table1Result) Table() *Table {
+	t := &Table{
+		Caption: "Table 1 — Publication routing performance (ms per publication)",
+		Columns: []string{"Method", "Set A (ms)", "Set B (ms)", "TableA", "TableB"},
+		Notes: []string{
+			fint(r.Publications) + " publications routed",
+			"Set A covering rate " + fpct(r.RateA) + ", Set B " + fpct(r.RateB),
+		},
+	}
+	t.AddRow("No Covering", fms(r.SetA.NoCovering), fms(r.SetB.NoCovering), fint(r.SetA.TableNoCov), fint(r.SetB.TableNoCov))
+	t.AddRow("Covering", fms(r.SetA.Covering), fms(r.SetB.Covering), fint(r.SetA.TableCov), fint(r.SetB.TableCov))
+	t.AddRow("Perfect Merging", fms(r.SetA.PerfectMerging), fms(r.SetB.PerfectMerging), fint(r.SetA.TablePM), fint(r.SetB.TablePM))
+	t.AddRow("Imperfect Merging", fms(r.SetA.ImperfectMerging), fms(r.SetB.ImperfectMerging), fint(r.SetA.TableIPM), fint(r.SetB.TableIPM))
+	return t
+}

@@ -1,0 +1,204 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/dtddata"
+	"repro/internal/gen"
+	"repro/internal/merge"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/xmldoc"
+)
+
+// Strategy names one of the paper's six evaluated routing configurations.
+type Strategy struct {
+	Name    string
+	Adv     bool
+	Cov     bool
+	Merging broker.MergingMode
+	Degree  float64
+}
+
+// PaperStrategies returns the six rows of Tables 2 and 3 in paper order.
+func PaperStrategies(imperfectDegree float64) []Strategy {
+	return []Strategy{
+		{Name: "no-Adv-no-Cov"},
+		{Name: "no-Adv-with-Cov", Cov: true},
+		{Name: "with-Adv-no-Cov", Adv: true},
+		{Name: "with-Adv-with-Cov", Adv: true, Cov: true},
+		{Name: "with-Adv-with-CovPM", Adv: true, Cov: true, Merging: broker.MergePerfect},
+		{Name: "with-Adv-with-CovIPM", Adv: true, Cov: true, Merging: broker.MergeImperfect, Degree: imperfectDegree},
+	}
+}
+
+// NetworkOptions sizes the Tables 2/3 experiment. The paper attaches one
+// subscriber with 1000 distinct PSD XPEs to every leaf broker and publishes
+// 50 documents (4182 publications) from one publisher; defaults here scale
+// the subscriptions down (see EXPERIMENTS.md).
+type NetworkOptions struct {
+	// Levels of the complete binary broker tree (3 -> 7 brokers, the
+	// paper's small overlay; 7 -> 127 brokers, the large one).
+	Levels int
+	// SubsPerSubscriber is the number of distinct XPEs per leaf subscriber
+	// (paper: 1000).
+	SubsPerSubscriber int
+	// Docs is the number of published documents (paper: 50).
+	Docs int
+	// ImperfectDegree for the CovIPM row (default 0.1).
+	ImperfectDegree float64
+	Seed            int64
+}
+
+func (o *NetworkOptions) defaults() {
+	if o.Levels <= 0 {
+		o.Levels = 3
+	}
+	if o.SubsPerSubscriber <= 0 {
+		o.SubsPerSubscriber = 250
+	}
+	if o.Docs <= 0 {
+		o.Docs = 50
+	}
+	if o.ImperfectDegree == 0 {
+		o.ImperfectDegree = 0.1
+	}
+	if o.Seed == 0 {
+		o.Seed = 5
+	}
+}
+
+// NetworkRow is one strategy's outcome.
+type NetworkRow struct {
+	Strategy  string
+	Traffic   int64   // messages received by all brokers
+	DelayMs   float64 // mean notification delay
+	Delivered int64
+}
+
+// NetworkResult holds the rows of Table 2 or Table 3.
+type NetworkResult struct {
+	Brokers      int
+	Subscribers  int
+	Publications int
+	Rows         []NetworkRow
+}
+
+// RunNetwork reproduces Table 2 (Levels=3) and Table 3 (Levels=7): total
+// network traffic and mean notification delay in a binary-tree overlay
+// under the six routing strategies.
+func RunNetwork(opts NetworkOptions) (*NetworkResult, error) {
+	opts.defaults()
+	psd := dtddata.PSD()
+
+	// Shared workloads across strategies: per-subscriber subscription sets
+	// and one publisher's documents.
+	docGen := gen.NewDocGenerator(psd, opts.Seed)
+	docGen.AvgRepeat = 1.2
+	docs := make([]*xmldoc.Document, opts.Docs)
+	pubCount := 0
+	for i := range docs {
+		docs[i] = docGen.Generate()
+		pubCount += len(docs[i].Paths())
+	}
+
+	leafCount := 1 << (opts.Levels - 1)
+	sets := make([]*CoveringSet, leafCount)
+	for i := range sets {
+		set, err := buildPSDSet(opts.SubsPerSubscriber, 0.9, opts.Seed+int64(10+i))
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = set
+	}
+
+	advs := GenerateAdvertisements(psd)
+	est := merge.NewDegreeEstimator(advs, 10, 4000)
+
+	res := &NetworkResult{Subscribers: leafCount, Publications: pubCount}
+	for _, strat := range PaperStrategies(opts.ImperfectDegree) {
+		row, brokers, err := runNetworkStrategy(opts, strat, sets, docs, est)
+		if err != nil {
+			return nil, err
+		}
+		res.Brokers = brokers
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func runNetworkStrategy(opts NetworkOptions, strat Strategy, sets []*CoveringSet, docs []*xmldoc.Document, est *merge.DegreeEstimator) (*NetworkRow, int, error) {
+	net := sim.NewNetwork(opts.Seed)
+	net.MeasureCompute = true
+	net.Latency = sim.ConstantLatency(500 * time.Microsecond)
+
+	cfg := broker.Config{
+		UseAdvertisements: strat.Adv,
+		UseCovering:       strat.Cov,
+		Merging:           strat.Merging,
+		ImperfectDegree:   strat.Degree,
+		Estimator:         est,
+		MergeEvery:        64,
+	}
+	leaves := sim.BuildCompleteBinaryTree(net, opts.Levels, sim.ConfigTemplate(cfg))
+	brokers := (1 << opts.Levels) - 1
+
+	// One publisher attached at the root broker ("publishers randomly
+	// connect"; the root is the deterministic choice).
+	pub := net.AddClient("pub", "b1")
+	if strat.Adv {
+		for i, a := range GenerateAdvertisements(dtddata.PSD()) {
+			pub.Send(&broker.Message{Type: broker.MsgAdvertise, AdvID: fmt.Sprintf("a%d", i), Adv: a})
+		}
+		net.Run()
+	}
+
+	subs := make([]*sim.Client, len(leaves))
+	for i, leaf := range leaves {
+		subs[i] = net.AddClient(fmt.Sprintf("sub%d", i), leaf)
+		for _, x := range sets[i].XPEs {
+			subs[i].Send(&broker.Message{Type: broker.MsgSubscribe, XPE: x})
+		}
+	}
+	net.Run()
+
+	for i, doc := range docs {
+		for _, p := range xmldoc.Extract(doc, uint64(i)) {
+			pub.Send(&broker.Message{Type: broker.MsgPublish, Pub: p})
+		}
+	}
+	net.Run()
+
+	var delay metrics.Summary
+	var delivered int64
+	for _, s := range subs {
+		for _, d := range s.Deliveries {
+			delay.ObserveDuration(d.Delay)
+			delivered++
+		}
+	}
+	row := &NetworkRow{
+		Strategy:  strat.Name,
+		Traffic:   net.TotalBrokerMessages(),
+		DelayMs:   delay.Mean(),
+		Delivered: delivered,
+	}
+	return row, brokers, nil
+}
+
+// Table renders the result in the shape of Table 2 / Table 3.
+func (r *NetworkResult) Table() *Table {
+	t := &Table{
+		Caption: fmt.Sprintf("Tables 2/3 — %d-broker network: traffic and notification delay", r.Brokers),
+		Columns: []string{"Method", "Network Traffic", "Delay (ms)", "Delivered"},
+		Notes: []string{
+			fmt.Sprintf("%d leaf subscribers, %d publications", r.Subscribers, r.Publications),
+		},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Strategy, f64(row.Traffic), fms(row.DelayMs), f64(row.Delivered))
+	}
+	return t
+}

@@ -1,0 +1,274 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation section. Each experiment has a runner returning a printable
+// result; cmd/experiments exposes them as subcommands and bench_test.go as
+// testing.B benchmarks. EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/advert"
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/subtree"
+	"repro/internal/xpath"
+)
+
+// CoveringSet is a subscription workload with a controlled covering rate.
+type CoveringSet struct {
+	XPEs []*xpath.XPE
+	// MeasuredRate is the fraction of expressions covered by another member
+	// of the set.
+	MeasuredRate float64
+}
+
+// BuildCoveringSet generates n distinct XPEs over the DTD with approximately
+// the requested covering rate (the fraction of members covered by another
+// member — the knob the paper turns via W and DO to build its Sets A and B).
+//
+// The paper's DTDs span a much larger query space than the embedded
+// corpora, so tuning W/DO alone cannot reach low covering rates here at
+// scale; instead the set is built directly as an antichain core (mutually
+// non-covering expressions, found by rejection sampling) topped up with
+// specialisations of core members (which are covered by construction).
+// DESIGN.md documents this substitution.
+func BuildCoveringSet(d *dtd.DTD, n int, coveredFrac float64, seed int64) (*CoveringSet, error) {
+	if coveredFrac < 0 || coveredFrac >= 1 {
+		return nil, fmt.Errorf("experiment: covered fraction %v out of [0,1)", coveredFrac)
+	}
+	r := rand.New(rand.NewSource(seed))
+	g := &gen.XPathGenerator{
+		DTD:        d,
+		Wildcard:   0.2,
+		Descendant: 0.1,
+		MaxLen:     10,
+		MinLen:     3,
+		Relative:   0.1,
+		Rand:       r,
+	}
+	coreTarget := n - int(float64(n)*coveredFrac)
+	seen := make(map[string]bool, n)
+	tree := subtree.New()
+	core := make([]*xpath.XPE, 0, coreTarget)
+	traces := make([][]string, 0, coreTarget)
+
+	attempts := 0
+	maxAttempts := 400*coreTarget + 40000
+	for len(core) < coreTarget {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("experiment: antichain core exhausted at %d/%d (space too small for n=%d at rate %.2f)",
+				len(core), coreTarget, n, coveredFrac)
+		}
+		x, trace := g.GenerateWithTrace()
+		key := x.Key()
+		if seen[key] {
+			continue
+		}
+		// Reject members related to the existing core in either direction.
+		if tree.IsCovered(x) || len(tree.CoveredBy(x)) > 0 {
+			continue
+		}
+		seen[key] = true
+		tree.Insert(x)
+		core = append(core, x)
+		traces = append(traces, trace)
+	}
+
+	out := make([]*xpath.XPE, 0, n)
+	out = append(out, core...)
+	// Specialisations may serve as bases for further specialisations, which
+	// compounds the variety available from a small core.
+	bases := make([]*xpath.XPE, len(core))
+	baseTraces := make([][]string, len(traces))
+	copy(bases, core)
+	copy(baseTraces, traces)
+	for len(out) < n {
+		attempts++
+		if attempts > maxAttempts+400*n {
+			return nil, fmt.Errorf("experiment: could not reach %d members (covered pool exhausted at %d)", n, len(out))
+		}
+		// Three ways to obtain covered members: emit a sibling family (one
+		// extension per child of a base's final element — the shape the
+		// merging rules aggregate), specialise an existing member, or draw
+		// fresh and keep it only if the set already covers it (the natural
+		// source in dense query spaces).
+		if attempts%5 == 0 {
+			i := r.Intn(len(bases))
+			members, memberTraces := siblingFamily(r, d, bases[i], baseTraces[i])
+			for j, m := range members {
+				if len(out) == n || seen[m.Key()] {
+					continue
+				}
+				seen[m.Key()] = true
+				tree.Insert(m)
+				out = append(out, m)
+				bases = append(bases, m)
+				baseTraces = append(baseTraces, memberTraces[j])
+			}
+			continue
+		}
+		if attempts%2 == 0 {
+			x, trace := g.GenerateWithTrace()
+			if seen[x.Key()] || !tree.IsCovered(x) {
+				continue
+			}
+			seen[x.Key()] = true
+			tree.Insert(x)
+			out = append(out, x)
+			bases = append(bases, x)
+			baseTraces = append(baseTraces, trace)
+			continue
+		}
+		i := r.Intn(len(bases))
+		x, trace := specialize(r, d, bases[i], baseTraces[i])
+		if x == nil || seen[x.Key()] {
+			continue
+		}
+		seen[x.Key()] = true
+		tree.Insert(x)
+		out = append(out, x)
+		bases = append(bases, x)
+		baseTraces = append(baseTraces, trace)
+	}
+	// Shuffle so covered members arrive interleaved, as in a live workload.
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+
+	set := &CoveringSet{XPEs: out}
+	set.MeasuredRate = MeasureCoveringRate(out)
+	return set, nil
+}
+
+// specialize derives an expression strictly covered by base AND still
+// consistent with the DTD walk that produced base (its trace), so that the
+// specialisation keeps overlapping the producer's advertisements and remains
+// a realistic subscription: it narrows wildcards to their trace elements
+// and/or extends the walk through real DTD children. It returns the derived
+// expression together with its own trace, so specialisations can chain.
+func specialize(r *rand.Rand, d *dtd.DTD, base *xpath.XPE, trace []string) (*xpath.XPE, []string) {
+	x := base.Clone()
+	newTrace := append([]string(nil), trace...)
+	changed := false
+
+	// Narrow a random non-empty subset of the wildcards to their concrete
+	// trace elements.
+	var wilds []int
+	for i, st := range x.Steps {
+		if st.IsWildcard() && i < len(trace) {
+			wilds = append(wilds, i)
+		}
+	}
+	if len(wilds) > 0 && r.Intn(2) == 0 {
+		for _, i := range wilds {
+			if r.Intn(2) == 0 {
+				x.Steps[i].Name = trace[i]
+				changed = true
+			}
+		}
+	}
+
+	// Extend the walk from the trace's final element through real children.
+	if !changed || r.Intn(2) == 0 {
+		cur := newTrace[len(newTrace)-1]
+		for ext := 1 + r.Intn(3); ext > 0 && x.Len() < 10; ext-- {
+			kids := d.Children(cur)
+			if len(kids) == 0 {
+				break
+			}
+			cur = kids[r.Intn(len(kids))]
+			name := cur
+			if r.Float64() < 0.2 {
+				name = xpath.Wildcard
+			}
+			x.Steps = append(x.Steps, xpath.Step{Axis: xpath.Child, Name: name})
+			newTrace = append(newTrace, cur)
+			changed = true
+		}
+	}
+	if !changed || x.Equal(base) {
+		return nil, nil
+	}
+	return x, newTrace
+}
+
+// siblingFamily extends base by one step for several distinct children of
+// its final trace element — a set of same-parent siblings differing only in
+// the last element test, the exact shape merging rule 1 aggregates.
+func siblingFamily(r *rand.Rand, d *dtd.DTD, base *xpath.XPE, trace []string) ([]*xpath.XPE, [][]string) {
+	if base.Len() >= 10 {
+		return nil, nil
+	}
+	kids := d.Children(trace[len(trace)-1])
+	if len(kids) < 2 {
+		return nil, nil
+	}
+	k := 2 + r.Intn(3)
+	if k > len(kids) {
+		k = len(kids)
+	}
+	perm := r.Perm(len(kids))
+	members := make([]*xpath.XPE, 0, k)
+	memberTraces := make([][]string, 0, k)
+	for _, idx := range perm[:k] {
+		child := kids[idx]
+		x := base.Clone()
+		x.Steps = append(x.Steps, xpath.Step{Axis: xpath.Child, Name: child})
+		members = append(members, x)
+		nt := append(append([]string(nil), trace...), child)
+		memberTraces = append(memberTraces, nt)
+	}
+	return members, memberTraces
+}
+
+// newDefaultXPathGen returns the generator configuration shared by the
+// experiments' plain (non-rate-controlled) workloads.
+func newDefaultXPathGen(d *dtd.DTD, seed int64) *gen.XPathGenerator {
+	return &gen.XPathGenerator{
+		DTD:        d,
+		Wildcard:   0.2,
+		Descendant: 0.1,
+		MaxLen:     10,
+		MinLen:     2,
+		Relative:   0.1,
+		Rand:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// MeasureCoveringRate computes the fraction of expressions covered by
+// another member of the set.
+func MeasureCoveringRate(xpes []*xpath.XPE) float64 {
+	if len(xpes) == 0 {
+		return 0
+	}
+	tree := subtree.New()
+	for _, x := range xpes {
+		tree.Insert(x)
+	}
+	return 1 - float64(len(tree.TopLevel()))/float64(len(xpes))
+}
+
+// Uncovered returns the members of the set not covered by any other member —
+// what a covering-based downstream routing table would hold.
+func Uncovered(xpes []*xpath.XPE) []*xpath.XPE {
+	tree := subtree.New()
+	for _, x := range xpes {
+		tree.Insert(x)
+	}
+	top := tree.TopLevel()
+	out := make([]*xpath.XPE, len(top))
+	for i, n := range top {
+		out[i] = n.XPE
+	}
+	return out
+}
+
+// GenerateAdvertisements derives the advertisement set of a DTD, failing the
+// experiment on error.
+func GenerateAdvertisements(d *dtd.DTD) []*advert.Advertisement {
+	advs, err := advert.Generate(d)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: advertisement generation: %v", err))
+	}
+	return advs
+}

@@ -1,0 +1,413 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dtd"
+	"repro/internal/xmldoc"
+)
+
+// DocGenerator produces XML documents conforming to a DTD, in the style of
+// the IBM XML Generator the paper uses: repetition counts for "*"/"+"
+// particles are random, the number of levels is bounded (the paper sets the
+// maximum to 10, matching the maximum XPE length), and the amount of
+// character data is tunable so documents of a target byte size can be made.
+type DocGenerator struct {
+	DTD *dtd.DTD
+	// MaxLevels is the soft depth bound (default 10). Elements whose
+	// content model requires children may exceed it by the few levels their
+	// cheapest completion needs.
+	MaxLevels int
+	// AvgRepeat is the mean number of extra occurrences generated for "*"
+	// and "+" particles (default 1).
+	AvgRepeat float64
+	// MixedProb is the probability that each admissible child of a
+	// mixed-content element appears (default 0.3).
+	MixedProb float64
+	// TextWords is the mean number of words of character data per
+	// text-capable element (default 4).
+	TextWords int
+	// Rand is the randomness source; it must be non-nil.
+	Rand *rand.Rand
+	// MaxElements caps the element count of one document (default 300000):
+	// repetition counts multiply across levels, and a runaway draw must
+	// degrade to minimal completions instead of exhausting memory.
+	MaxElements int
+
+	need  map[string]int // lazily computed minimal completion depths
+	nodes int            // elements generated in the current document
+}
+
+// NewDocGenerator returns a generator with the paper's defaults.
+func NewDocGenerator(d *dtd.DTD, seed int64) *DocGenerator {
+	return &DocGenerator{
+		DTD:       d,
+		MaxLevels: 10,
+		AvgRepeat: 1,
+		MixedProb: 0.3,
+		TextWords: 4,
+		Rand:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (g *DocGenerator) maxLevels() int {
+	if g.MaxLevels <= 0 {
+		return 10
+	}
+	return g.MaxLevels
+}
+
+// Generate produces one document.
+func (g *DocGenerator) Generate() *xmldoc.Document {
+	if g.need == nil {
+		g.need = g.DTD.MinDepthBelow()
+	}
+	g.nodes = 0
+	root := g.genElement(g.DTD.Root, 1)
+	return &xmldoc.Document{Root: root}
+}
+
+// GenerateSized produces a document whose serialised size is close to
+// targetBytes (within a few percent). Document size reacts superlinearly to
+// the repetition knob — counts multiply across levels — so scale search
+// alone cannot hit a byte target; instead the element structure is generated
+// at a scale that undershoots slightly and the character data is then padded
+// (or trimmed) to the target. The paper's workloads only use document size
+// as a transfer/parse cost knob, which text volume captures.
+func (g *DocGenerator) GenerateSized(targetBytes int) (*xmldoc.Document, error) {
+	if targetBytes <= 0 {
+		return nil, fmt.Errorf("gen: target size must be positive")
+	}
+	savedRepeat := g.AvgRepeat
+	defer func() { g.AvgRepeat = savedRepeat }()
+
+	var best *xmldoc.Document
+	bestErr := 1 << 60
+	scale := 1.0
+	for attempt := 0; attempt < 16; attempt++ {
+		g.AvgRepeat = savedRepeat * scale
+		doc := g.Generate()
+		adjustTextSize(doc, targetBytes, g)
+		size := doc.Size()
+		diff := size - targetBytes
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestErr {
+			best, bestErr = doc, diff
+		}
+		if float64(diff) <= 0.05*float64(targetBytes) {
+			return doc, nil
+		}
+		if size > targetBytes {
+			// Even with all text removed the structure is too large.
+			scale *= 0.5
+		} else {
+			scale *= 1.4
+		}
+		scale = math.Min(math.Max(scale, 0.05), 8)
+	}
+	return best, nil
+}
+
+// adjustTextSize pads or trims the document's character data toward the
+// byte target.
+func adjustTextSize(doc *xmldoc.Document, target int, g *DocGenerator) {
+	var textNodes []*xmldoc.Elem
+	var collect func(e *xmldoc.Elem)
+	collect = func(e *xmldoc.Elem) {
+		if e.Text != "" {
+			textNodes = append(textNodes, e)
+		}
+		for _, c := range e.Children {
+			collect(c)
+		}
+	}
+	collect(doc.Root)
+	delta := target - doc.Size()
+	switch {
+	case delta > 0 && len(textNodes) > 0:
+		// Distribute the missing bytes across text nodes.
+		per := delta/len(textNodes) + 1
+		for _, e := range textNodes {
+			if delta <= 0 {
+				break
+			}
+			chunk := per
+			if chunk > delta {
+				chunk = delta
+			}
+			e.Text += " " + padText(g, chunk)
+			delta -= chunk + 1
+		}
+	case delta < 0:
+		// Trim text until the document fits (structure may still exceed the
+		// target; the caller then regenerates smaller).
+		for i := len(textNodes) - 1; i >= 0 && delta < 0; i-- {
+			e := textNodes[i]
+			cut := -delta
+			if cut >= len(e.Text) {
+				delta += len(e.Text)
+				e.Text = ""
+			} else {
+				e.Text = e.Text[:len(e.Text)-cut]
+				delta = 0
+			}
+		}
+	}
+}
+
+// padText builds roughly n bytes of filler words.
+func padText(g *DocGenerator, n int) string {
+	out := make([]byte, 0, n+8)
+	for len(out) < n {
+		if len(out) > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, g.word()...)
+	}
+	return string(out[:n])
+}
+
+// overBudget reports whether the current document has hit its element cap;
+// optional content is suppressed past it.
+func (g *DocGenerator) overBudget() bool {
+	cap := g.MaxElements
+	if cap <= 0 {
+		cap = 300000
+	}
+	return g.nodes >= cap
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (g *DocGenerator) genElement(name string, level int) *xmldoc.Elem {
+	g.nodes++
+	el := &xmldoc.Elem{Name: name}
+	decl := g.DTD.Element(name)
+	if decl == nil {
+		return el
+	}
+	for _, a := range decl.Attrs {
+		if a.Default == "#REQUIRED" {
+			el.Attrs = append(el.Attrs, xmldoc.Attr{Name: a.Name, Value: g.word()})
+		}
+	}
+	switch decl.Content {
+	case dtd.EmptyContent:
+		// No children, no text.
+	case dtd.MixedContent:
+		el.Text = g.text()
+		for _, c := range decl.MixedNames {
+			if !g.fits(c, level) || g.overBudget() {
+				continue
+			}
+			for g.Rand.Float64() < g.mixedProb() {
+				el.Children = append(el.Children, g.genElement(c, level+1))
+				if g.Rand.Float64() > 0.4 {
+					break
+				}
+			}
+		}
+	case dtd.AnyContent:
+		el.Text = g.text()
+		names := g.DTD.Names()
+		for tries := 0; tries < 3; tries++ {
+			c := names[g.Rand.Intn(len(names))]
+			if g.Rand.Float64() < g.mixedProb() && g.fits(c, level) {
+				el.Children = append(el.Children, g.genElement(c, level+1))
+			}
+		}
+	default:
+		el.Children = g.genParticle(decl.Model, level)
+		if len(el.Children) == 0 {
+			el.Text = g.text()
+		}
+	}
+	return el
+}
+
+// fits reports whether descending into child c at the given level respects
+// the depth budget.
+func (g *DocGenerator) fits(c string, level int) bool {
+	n := g.need[c]
+	return n < dtd.Unbounded && level+1+n <= g.maxLevels()
+}
+
+func (g *DocGenerator) genParticle(p *dtd.Particle, level int) []*xmldoc.Elem {
+	if p == nil {
+		return nil
+	}
+	count := g.occurrences(p, level)
+	var out []*xmldoc.Elem
+	for i := 0; i < count; i++ {
+		switch p.Kind {
+		case dtd.NameParticle:
+			out = append(out, g.genElement(p.Name, level+1))
+		case dtd.SeqParticle:
+			for _, c := range p.Children {
+				out = append(out, g.genParticle(c, level)...)
+			}
+		case dtd.ChoiceParticle:
+			if c := g.chooseBranch(p, level); c != nil {
+				out = append(out, g.genParticle(c, level)...)
+			}
+		}
+	}
+	return out
+}
+
+// occurrences draws how many times a particle is instantiated, honouring its
+// modifier and the depth budget (optional particles that do not fit are
+// dropped; required ones proceed with their cheapest completion).
+func (g *DocGenerator) occurrences(p *dtd.Particle, level int) int {
+	fits := g.particleFits(p, level) && !g.overBudget()
+	switch p.Occ {
+	case dtd.Optional:
+		if !fits || g.Rand.Float64() < 0.4 {
+			return 0
+		}
+		return 1
+	case dtd.ZeroOrMore:
+		if !fits {
+			return 0
+		}
+		return g.geometric()
+	case dtd.OneOrMore:
+		if !fits {
+			return 1 // required: overshoot minimally
+		}
+		return 1 + g.geometric()
+	default:
+		return 1
+	}
+}
+
+// geometric draws a non-negative count with mean AvgRepeat.
+func (g *DocGenerator) geometric() int {
+	mean := g.AvgRepeat
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (1 + mean)
+	n := 0
+	for g.Rand.Float64() > p {
+		n++
+		if n > 200 {
+			break
+		}
+	}
+	return n
+}
+
+// particleFits reports whether one instantiation of p can respect the depth
+// budget.
+func (g *DocGenerator) particleFits(p *dtd.Particle, level int) bool {
+	switch p.Kind {
+	case dtd.NameParticle:
+		return g.fits(p.Name, level)
+	case dtd.ChoiceParticle:
+		for _, c := range p.Children {
+			if g.particleFits(c, level) {
+				return true
+			}
+		}
+		return false
+	default:
+		for _, c := range p.Children {
+			if c.Occ == dtd.One || c.Occ == dtd.OneOrMore {
+				if !g.particleFits(c, level) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// chooseBranch picks a random branch of a choice that fits the depth budget,
+// falling back to the cheapest branch when none does.
+func (g *DocGenerator) chooseBranch(p *dtd.Particle, level int) *dtd.Particle {
+	var viable []*dtd.Particle
+	for _, c := range p.Children {
+		if g.particleFits(c, level) {
+			viable = append(viable, c)
+		}
+	}
+	if len(viable) > 0 {
+		return viable[g.Rand.Intn(len(viable))]
+	}
+	// Required choice with no fitting branch: take the cheapest completion.
+	var best *dtd.Particle
+	bestNeed := dtd.Unbounded + 1
+	for _, c := range p.Children {
+		n := g.branchNeed(c)
+		if n < bestNeed {
+			best, bestNeed = c, n
+		}
+	}
+	return best
+}
+
+func (g *DocGenerator) branchNeed(p *dtd.Particle) int {
+	switch p.Kind {
+	case dtd.NameParticle:
+		return g.need[p.Name]
+	case dtd.ChoiceParticle:
+		best := dtd.Unbounded
+		for _, c := range p.Children {
+			if n := g.branchNeed(c); n < best {
+				best = n
+			}
+		}
+		return best
+	default:
+		worst := 0
+		for _, c := range p.Children {
+			if n := g.branchNeed(c); n > worst {
+				worst = n
+			}
+		}
+		return worst
+	}
+}
+
+func (g *DocGenerator) mixedProb() float64 {
+	if g.MixedProb <= 0 {
+		return 0.3
+	}
+	return g.MixedProb
+}
+
+var lexicon = []string{
+	"market", "report", "update", "global", "index", "energy", "health",
+	"policy", "sequence", "protein", "domain", "signal", "release", "quarter",
+	"analysis", "growth", "network", "system", "region", "summary",
+}
+
+func (g *DocGenerator) word() string {
+	return lexicon[g.Rand.Intn(len(lexicon))]
+}
+
+func (g *DocGenerator) text() string {
+	words := g.TextWords
+	if words <= 0 {
+		words = 4
+	}
+	n := 1 + g.Rand.Intn(2*words)
+	out := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, g.word()...)
+	}
+	return string(out)
+}

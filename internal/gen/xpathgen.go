@@ -1,0 +1,143 @@
+// Package gen provides the two workload generators the evaluation needs:
+// an XPath query generator in the style of Diao et al.'s generator (the
+// paper's subscription workloads) and a DTD-driven XML document generator in
+// the style of the IBM XML Generator (the paper's publication workloads).
+// Both are deterministic for a given random source.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dtd"
+	"repro/internal/xpath"
+)
+
+// XPathGenerator produces random XPath expressions by walking a DTD's
+// containment graph from the root. Its knobs mirror the ones the paper
+// reports tuning: W, the probability of a "*" at a location step, and DO,
+// the probability of a "//" operator at a location step, plus the maximum
+// expression length (the paper uses 10).
+type XPathGenerator struct {
+	DTD *dtd.DTD
+	// Wildcard (W) is the probability that a step's name test is "*".
+	Wildcard float64
+	// Descendant (DO) is the probability that a step is connected with "//";
+	// the walk then skips one to three levels.
+	Descendant float64
+	// MaxLen bounds the number of location steps (default 10).
+	MaxLen int
+	// MinLen bounds the number of location steps from below (default 1).
+	MinLen int
+	// Relative is the probability of generating a relative expression,
+	// which starts the walk at a random non-root element (default 0).
+	Relative float64
+	// Rand is the randomness source; it must be non-nil.
+	Rand *rand.Rand
+}
+
+// NewXPathGenerator returns a generator with the paper's defaults.
+func NewXPathGenerator(d *dtd.DTD, w, do float64, seed int64) *XPathGenerator {
+	return &XPathGenerator{
+		DTD:        d,
+		Wildcard:   w,
+		Descendant: do,
+		MaxLen:     10,
+		MinLen:     1,
+		Rand:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (g *XPathGenerator) maxLen() int {
+	if g.MaxLen <= 0 {
+		return 10
+	}
+	return g.MaxLen
+}
+
+func (g *XPathGenerator) minLen() int {
+	if g.MinLen <= 0 {
+		return 1
+	}
+	return g.MinLen
+}
+
+// Generate produces one expression.
+func (g *XPathGenerator) Generate() *xpath.XPE {
+	x, _ := g.GenerateWithTrace()
+	return x
+}
+
+// GenerateWithTrace produces one expression together with the concrete DTD
+// element behind each location step (the walk the expression was derived
+// from). Workload builders use the trace to derive DTD-consistent
+// specialisations: narrowing a wildcard to its trace element, or extending
+// the walk through real children, keeps the expression overlapping the
+// producer's advertisements.
+func (g *XPathGenerator) GenerateWithTrace() (*xpath.XPE, []string) {
+	r := g.Rand
+	x := &xpath.XPE{}
+	var trace []string
+	cur := g.DTD.Root
+	if r.Float64() < g.Relative {
+		x.Relative = true
+		names := g.DTD.Names()
+		cur = names[r.Intn(len(names))]
+	}
+	length := g.minLen() + r.Intn(g.maxLen()-g.minLen()+1)
+	for i := 0; i < length; i++ {
+		axis := xpath.Child
+		if i > 0 {
+			kids := g.DTD.Children(cur)
+			if len(kids) == 0 {
+				break
+			}
+			if r.Float64() < g.Descendant {
+				axis = xpath.Descendant
+				// Usually skip an intermediate level so the "//" is
+				// meaningful; "//" with no skipped level is also legal.
+				if r.Intn(4) > 0 {
+					next := kids[r.Intn(len(kids))]
+					if grand := g.DTD.Children(next); len(grand) > 0 {
+						cur, kids = next, grand
+					}
+				}
+			}
+			cur = kids[r.Intn(len(kids))]
+		}
+		name := cur
+		if r.Float64() < g.Wildcard {
+			name = xpath.Wildcard
+		}
+		x.Steps = append(x.Steps, xpath.Step{Axis: axis, Name: name})
+		trace = append(trace, cur)
+	}
+	if len(x.Steps) == 0 {
+		x.Steps = append(x.Steps, xpath.Step{Axis: xpath.Child, Name: g.DTD.Root})
+		trace = append(trace, g.DTD.Root)
+	}
+	return x, trace
+}
+
+// GenerateDistinct produces n pairwise-distinct expressions (the paper's
+// query workloads are distinct). It fails if the space is too small to
+// find n distinct expressions within a bounded number of attempts.
+func (g *XPathGenerator) GenerateDistinct(n int) ([]*xpath.XPE, error) {
+	seen := make(map[string]bool, n)
+	out := make([]*xpath.XPE, 0, n)
+	attempts := 0
+	for len(out) < n {
+		attempts++
+		if attempts > 200*n+10000 {
+			return nil, fmt.Errorf("gen: could not find %d distinct XPEs (found %d)", n, len(out))
+		}
+		x := g.Generate()
+		key := x.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, x)
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+// Package merge implements the paper's subscription merging rules. When no
+// covering relation holds among a set of subscriptions they may still be
+// replaced by a more general merger, shrinking the routing table further:
+//
+//   - rule 1: subscriptions identical except for one element test are merged
+//     by replacing that test with the wildcard;
+//   - rule 2: subscriptions differing in one element test and one operator
+//     are merged by replacing the test with the wildcard and the operator
+//     with "//";
+//   - rule 3: subscriptions sharing a prefix and a suffix are merged by
+//     replacing the differing middles with a "//" operator.
+//
+// A merger is perfect when its publication set equals the union of its
+// sources' sets and imperfect otherwise; the imperfect degree D_imperfect =
+// |P(s) − ∪P(si)| / |P(s)| is estimated against the universe of publication
+// paths the producer DTD admits, as the paper proposes.
+package merge
+
+import (
+	"repro/internal/cover"
+	"repro/internal/xpath"
+)
+
+// Rule identifies which merging rule produced a merger.
+type Rule int
+
+const (
+	// RuleElement is rule 1 (one differing element test).
+	RuleElement Rule = 1
+	// RuleOperator is rule 2 (one differing test and one differing
+	// operator).
+	RuleOperator Rule = 2
+	// RuleInfix is rule 3 (differing middles replaced by "//").
+	RuleInfix Rule = 3
+)
+
+// Merger is the outcome of merging a set of subscriptions.
+type Merger struct {
+	Result  *xpath.XPE
+	Sources []*xpath.XPE
+	Rule    Rule
+	// Degree is the estimated imperfect degree; 0 for perfect mergers. It
+	// is filled in by the caller's estimator.
+	Degree float64
+}
+
+// MergePositionwise merges subscriptions of identical shape (same length,
+// same relativity) by generalising the positions where they differ: a
+// differing element test becomes the wildcard, a differing operator becomes
+// "//". It implements rules 1 and 2 and returns ok=false when the inputs
+// need more than maxElemDiffs element generalisations or more than
+// maxOpDiffs operator generalisations, or when they are already in a
+// covering relation (covering, not merging, should handle those).
+func MergePositionwise(xpes []*xpath.XPE, maxElemDiffs, maxOpDiffs int) (*xpath.XPE, Rule, bool) {
+	if len(xpes) < 2 {
+		return nil, 0, false
+	}
+	first := xpes[0]
+	for _, x := range xpes[1:] {
+		if x.Len() != first.Len() || x.Relative != first.Relative {
+			return nil, 0, false
+		}
+	}
+	merged := first.Clone()
+	elemDiffs, opDiffs := 0, 0
+	for i := range merged.Steps {
+		for _, x := range xpes[1:] {
+			if x.Steps[i].Name != first.Steps[i].Name {
+				elemDiffs++
+				merged.Steps[i].Name = xpath.Wildcard
+				break
+			}
+		}
+		for _, x := range xpes[1:] {
+			if x.Steps[i].Axis != first.Steps[i].Axis {
+				opDiffs++
+				merged.Steps[i].Axis = xpath.Descendant
+				break
+			}
+		}
+	}
+	if elemDiffs == 0 && opDiffs == 0 {
+		return nil, 0, false // identical subscriptions
+	}
+	if elemDiffs > maxElemDiffs || opDiffs > maxOpDiffs {
+		return nil, 0, false
+	}
+	// Covering pairs are covering's job, not merging's.
+	for i, a := range xpes {
+		for _, b := range xpes[i+1:] {
+			if cover.Covers(a, b) || cover.Covers(b, a) {
+				return nil, 0, false
+			}
+		}
+	}
+	rule := RuleElement
+	if opDiffs > 0 {
+		rule = RuleOperator
+	}
+	return merged, rule, true
+}
+
+// MergeInfix implements rule 3: if s1 and s2 share a common step prefix and
+// a common step suffix whose combined length is at least minCommon steps
+// (and at least one step each side of the differing middles), the middles
+// are replaced by a single "//" operator. The rule is only worth applying
+// when most of the expressions agree, otherwise the merger admits too many
+// false positives.
+func MergeInfix(s1, s2 *xpath.XPE, minCommon int) (*xpath.XPE, bool) {
+	if s1.Relative != s2.Relative {
+		return nil, false
+	}
+	if s1.Equal(s2) {
+		return nil, false
+	}
+	pre := 0
+	for pre < s1.Len() && pre < s2.Len() && s1.Steps[pre] == s2.Steps[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < s1.Len()-pre && suf < s2.Len()-pre &&
+		s1.Steps[s1.Len()-1-suf] == s2.Steps[s2.Len()-1-suf] {
+		suf++
+	}
+	if pre == 0 || suf == 0 || pre+suf < minCommon {
+		return nil, false
+	}
+	if pre+suf >= s1.Len() && pre+suf >= s2.Len() {
+		// No differing middle on either side; covering handles this shape.
+		return nil, false
+	}
+	merged := &xpath.XPE{Relative: s1.Relative}
+	merged.Steps = append(merged.Steps, s1.Steps[:pre]...)
+	tail := make([]xpath.Step, suf)
+	copy(tail, s1.Steps[s1.Len()-suf:])
+	tail[0].Axis = xpath.Descendant
+	merged.Steps = append(merged.Steps, tail...)
+	return merged, true
+}

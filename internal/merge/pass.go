@@ -1,0 +1,284 @@
+package merge
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/subtree"
+	"repro/internal/xpath"
+)
+
+// Options configures a merge pass over a subscription tree.
+type Options struct {
+	// MaxDegree is the highest imperfect degree a merger may have; 0 admits
+	// only perfect mergers.
+	MaxDegree float64
+	// Estimator computes imperfect degrees. Required when MaxDegree-gated
+	// merging is wanted; with a nil Estimator every candidate is treated as
+	// degree 0 only if MaxDegree >= 1 (otherwise nothing merges).
+	Estimator *DegreeEstimator
+	// EnableInfix additionally applies rule 3 (prefix//suffix) to sibling
+	// pairs. Off by default: the rule is aggressive and the paper applies
+	// it only when "most parts" agree.
+	EnableInfix bool
+	// InfixMinCommon is the combined prefix+suffix length rule 3 requires
+	// (default 4).
+	InfixMinCommon int
+	// MaxGroup caps how many subscriptions a single merger may absorb
+	// (default unlimited).
+	MaxGroup int
+	// OnMerge, if non-nil, is invoked for every applied merger after the
+	// merger node is inserted but before the source nodes are removed, so a
+	// router can move per-subscription routing state (last hops, forwarding
+	// records) from the sources to the merger.
+	OnMerge func(m *Merger, sources []*subtree.Node, merger *subtree.Node)
+}
+
+// Pass runs one merging pass over the tree: for every node's child set it
+// buckets siblings by shape (rules 1 and 2), merges groups whose estimated
+// imperfect degree passes the gate, inserts the merger and removes the
+// sources. It returns the mergers applied, so a router can translate them
+// into unsubscriptions and a subscription.
+//
+// Merging children of the same parent is where the paper applies the rules:
+// siblings have "a better chance to be merged".
+func Pass(t *subtree.Tree, opts Options) []*Merger {
+	var applied []*Merger
+	// Collect parents first: applying a merger mutates child sets.
+	parents := []*subtree.Node{nil} // nil stands for the virtual root
+	t.Walk(func(n *subtree.Node) { parents = append(parents, n) })
+
+	for _, parent := range parents {
+		var siblings []*subtree.Node
+		if parent == nil {
+			siblings = t.TopLevel()
+		} else {
+			siblings = parent.Children()
+		}
+		if len(siblings) < 2 {
+			continue
+		}
+		applied = append(applied, mergeSiblings(t, siblings, opts)...)
+	}
+	return applied
+}
+
+// PassToFixpoint repeats Pass until no merger applies, returning all mergers.
+// Each pass may create new sibling groups (the paper notes mergers can
+// introduce new covering relations), so a fixpoint maximises compaction.
+func PassToFixpoint(t *subtree.Tree, opts Options) []*Merger {
+	var all []*Merger
+	for {
+		batch := Pass(t, opts)
+		all = append(all, batch...)
+		if len(batch) == 0 {
+			return all
+		}
+	}
+}
+
+// mergeSiblings applies rules 1/2 (and optionally 3) within one sibling set.
+func mergeSiblings(t *subtree.Tree, siblings []*subtree.Node, opts Options) []*Merger {
+	var applied []*Merger
+
+	// Rule 1: bucket by the expression with one element test masked. All
+	// members of a bucket differ only at that position.
+	type group struct{ nodes []*subtree.Node }
+	buckets := make(map[string]*group)
+	for _, n := range siblings {
+		x := n.XPE
+		for i := range x.Steps {
+			key := maskKey(x, i, false)
+			g := buckets[key]
+			if g == nil {
+				g = &group{}
+				buckets[key] = g
+			}
+			g.nodes = append(g.nodes, n)
+		}
+	}
+	merged := make(map[*subtree.Node]bool)
+	// Deterministic bucket order.
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := buckets[k]
+		if m := tryGroup(t, g.nodes, merged, opts, false); m != nil {
+			applied = append(applied, m)
+		}
+	}
+
+	// Rule 2: bucket by the expression with one element test and one
+	// operator masked.
+	buckets2 := make(map[string]*group)
+	for _, n := range siblings {
+		if merged[n] {
+			continue
+		}
+		x := n.XPE
+		for i := range x.Steps {
+			for j := range x.Steps {
+				key := maskKey2(x, i, j)
+				g := buckets2[key]
+				if g == nil {
+					g = &group{}
+					buckets2[key] = g
+				}
+				g.nodes = append(g.nodes, n)
+			}
+		}
+	}
+	keys = keys[:0]
+	for k := range buckets2 {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := buckets2[k]
+		if m := tryGroup(t, g.nodes, merged, opts, true); m != nil {
+			applied = append(applied, m)
+		}
+	}
+
+	// Rule 3 (optional): pairwise prefix//suffix merging.
+	if opts.EnableInfix {
+		minCommon := opts.InfixMinCommon
+		if minCommon <= 0 {
+			minCommon = 4
+		}
+		for i := 0; i < len(siblings); i++ {
+			if merged[siblings[i]] {
+				continue
+			}
+			for j := i + 1; j < len(siblings); j++ {
+				if merged[siblings[j]] {
+					continue
+				}
+				res, ok := MergeInfix(siblings[i].XPE, siblings[j].XPE, minCommon)
+				if !ok {
+					continue
+				}
+				m := &Merger{
+					Result:  res,
+					Sources: []*xpath.XPE{siblings[i].XPE, siblings[j].XPE},
+					Rule:    RuleInfix,
+				}
+				if !degreeOK(m, opts) {
+					continue
+				}
+				apply(t, m, []*subtree.Node{siblings[i], siblings[j]}, opts)
+				merged[siblings[i]] = true
+				merged[siblings[j]] = true
+				applied = append(applied, m)
+				break
+			}
+		}
+	}
+	return applied
+}
+
+// tryGroup merges the distinct, not-yet-merged members of a candidate
+// bucket.
+func tryGroup(t *subtree.Tree, nodes []*subtree.Node, merged map[*subtree.Node]bool, opts Options, allowOp bool) *Merger {
+	var live []*subtree.Node
+	seen := make(map[*subtree.Node]bool)
+	for _, n := range nodes {
+		if merged[n] || seen[n] {
+			continue
+		}
+		seen[n] = true
+		live = append(live, n)
+	}
+	if opts.MaxGroup > 0 && len(live) > opts.MaxGroup {
+		live = live[:opts.MaxGroup]
+	}
+	if len(live) < 2 {
+		return nil
+	}
+	xpes := make([]*xpath.XPE, len(live))
+	for i, n := range live {
+		xpes[i] = n.XPE
+	}
+	maxOp := 0
+	if allowOp {
+		maxOp = 1
+	}
+	res, rule, ok := MergePositionwise(xpes, 1, maxOp)
+	if !ok {
+		return nil
+	}
+	m := &Merger{Result: res, Sources: xpes, Rule: rule}
+	if !degreeOK(m, opts) {
+		return nil
+	}
+	apply(t, m, live, opts)
+	for _, n := range live {
+		merged[n] = true
+	}
+	return m
+}
+
+func degreeOK(m *Merger, opts Options) bool {
+	if opts.Estimator == nil {
+		return opts.MaxDegree >= 1
+	}
+	m.Degree = opts.Estimator.Degree(m)
+	return m.Degree <= opts.MaxDegree+1e-12
+}
+
+// apply inserts the merger into the tree and removes the source nodes; the
+// sources' subtrees end up under the merger (it covers them), matching the
+// paper's description of merging in the subscription tree.
+func apply(t *subtree.Tree, m *Merger, sources []*subtree.Node, opts Options) {
+	res := t.Insert(m.Result)
+	if opts.OnMerge != nil {
+		opts.OnMerge(m, sources, res.Node)
+	}
+	for _, n := range sources {
+		t.Remove(n)
+	}
+}
+
+func maskKey(x *xpath.XPE, i int, maskOp bool) string {
+	var b strings.Builder
+	if x.Relative {
+		b.WriteByte('r')
+	}
+	for j, st := range x.Steps {
+		if maskOp && j == i {
+			b.WriteByte('?')
+		} else {
+			b.WriteString(st.Axis.String())
+		}
+		if j == i {
+			b.WriteByte(1)
+		} else {
+			b.WriteString(st.Name)
+		}
+	}
+	return b.String()
+}
+
+// maskKey2 masks the element test at i and the operator at j.
+func maskKey2(x *xpath.XPE, i, j int) string {
+	var b strings.Builder
+	if x.Relative {
+		b.WriteByte('r')
+	}
+	for k, st := range x.Steps {
+		if k == j {
+			b.WriteByte('?')
+		} else {
+			b.WriteString(st.Axis.String())
+		}
+		if k == i {
+			b.WriteByte(1)
+		} else {
+			b.WriteString(st.Name)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+// Package metrics provides the small statistics helpers the experiment
+// harness reports with: streaming counters and latency/size summaries with
+// percentiles.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a concurrency-safe monotonic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Summary accumulates float64 samples and reports order statistics. The
+// zero value is ready to use; methods are safe for concurrent use.
+type Summary struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = append(s.samples, v)
+	s.sorted = false
+}
+
+// ObserveDuration records a duration sample in milliseconds.
+func (s *Summary) ObserveDuration(d time.Duration) {
+	s.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range s.samples {
+		total += v
+	}
+	return total / float64(len(s.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank, or 0 with
+// no samples.
+func (s *Summary) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	idx := int(math.Ceil(q*float64(len(s.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.samples) {
+		idx = len(s.samples) - 1
+	}
+	return s.samples[idx]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[len(s.samples)-1]
+}
+
+// ensureSorted must be called with the lock held.
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// String renders count/mean/p50/p95/max.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+		s.Count(), s.Mean(), s.Quantile(0.5), s.Quantile(0.95), s.Max())
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	c.Add(5)
+	if got := c.Load(); got != 8005 {
+		t.Errorf("Load = %d, want 8005", got)
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Quantile(0.5) != 3 {
+		t.Errorf("median = %v", s.Quantile(0.5))
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Observations after a sorted read must still be accounted for.
+	s.Observe(100)
+	if s.Max() != 100 {
+		t.Errorf("Max after late observe = %v", s.Max())
+	}
+}
+
+func TestSummaryDurationAndString(t *testing.T) {
+	var s Summary
+	s.ObserveDuration(1500 * time.Microsecond)
+	if got := s.Mean(); got != 1.5 {
+		t.Errorf("Mean = %v ms, want 1.5", got)
+	}
+	if !strings.Contains(s.String(), "n=1") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := s.Quantile(0.95); got != 95 {
+		t.Errorf("q95 = %v", got)
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/advert"
+	"repro/internal/broker"
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/merge"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// TestQuickStrategyDeliveryEquivalence is the core safety property of the
+// whole system: whatever combination of routing optimisations the brokers
+// run — advertisements, covering, perfect or imperfect merging — every
+// subscriber receives exactly the same set of publications. The
+// optimisations may only change network traffic and state, never delivery.
+func TestQuickStrategyDeliveryEquivalence(t *testing.T) {
+	testDTD := dtd.MustParse(`
+<!ELEMENT root (sec+)>
+<!ELEMENT sec (head?, (par | sec | list)*)>
+<!ELEMENT head (#PCDATA)>
+<!ELEMENT par (#PCDATA | ref)*>
+<!ELEMENT ref (#PCDATA)>
+<!ELEMENT list (item+)>
+<!ELEMENT item (#PCDATA | par)*>
+`)
+	advs, err := advert.Generate(testDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := merge.NewDegreeEstimator(advs, 10, 4000)
+
+	strategies := []broker.Config{
+		{},
+		{UseCovering: true},
+		{UseAdvertisements: true},
+		{UseAdvertisements: true, UseCovering: true},
+		{UseAdvertisements: true, UseCovering: true, Merging: broker.MergePerfect, Estimator: est, MergeEvery: 4},
+		{UseAdvertisements: true, UseCovering: true, Merging: broker.MergeImperfect, ImperfectDegree: 0.3, Estimator: est, MergeEvery: 4},
+	}
+
+	for trial := 0; trial < 12; trial++ {
+		r := rand.New(rand.NewSource(int64(100 + trial)))
+		// Random workload: subscriptions per subscriber, with some
+		// unsubscriptions sprinkled in, then publications.
+		xg := gen.NewXPathGenerator(testDTD, 0.3, 0.2, int64(trial))
+		xg.MinLen = 1
+		var ops []deliveryOp
+		var live []deliveryOp
+		for i := 0; i < 40; i++ {
+			if len(live) > 4 && r.Intn(5) == 0 {
+				j := r.Intn(len(live))
+				ops = append(ops, deliveryOp{sub: live[j].sub, unsub: true, xpe: live[j].xpe})
+				live = append(live[:j], live[j+1:]...)
+				continue
+			}
+			o := deliveryOp{sub: r.Intn(4), xpe: xg.Generate()}
+			ops = append(ops, o)
+			live = append(live, o)
+		}
+		dg := gen.NewDocGenerator(testDTD, int64(trial))
+		dg.AvgRepeat = 1.5
+		docs := make([]*xmldoc.Document, 6)
+		for i := range docs {
+			docs[i] = dg.Generate()
+		}
+
+		var want string
+		for si, cfg := range strategies {
+			got := runWorkload(t, cfg, ops, docs)
+			if si == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("trial %d: strategy %d delivered a different set\nbaseline:\n%s\ngot:\n%s",
+					trial, si, want, got)
+			}
+		}
+	}
+}
+
+type deliveryOp struct {
+	sub   int
+	unsub bool
+	xpe   *xpath.XPE
+}
+
+func runWorkload(t *testing.T, cfg broker.Config, ops []deliveryOp, docs []*xmldoc.Document) string {
+	t.Helper()
+	net := NewNetwork(1)
+	leaves := BuildCompleteBinaryTree(net, 3, ConfigTemplate(cfg))
+	pub := net.AddClient("pub", "b2") // interior broker: asymmetric paths
+	if cfg.UseAdvertisements {
+		advs, err := advert.Generate(dtd.MustParse(`
+<!ELEMENT root (sec+)>
+<!ELEMENT sec (head?, (par | sec | list)*)>
+<!ELEMENT head (#PCDATA)>
+<!ELEMENT par (#PCDATA | ref)*>
+<!ELEMENT ref (#PCDATA)>
+<!ELEMENT list (item+)>
+<!ELEMENT item (#PCDATA | par)*>
+`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range advs {
+			pub.Send(&broker.Message{Type: broker.MsgAdvertise, AdvID: fmt.Sprintf("a%d", i), Adv: a})
+		}
+		net.Run()
+	}
+	subs := make([]*Client, 4)
+	for i := range subs {
+		subs[i] = net.AddClient(fmt.Sprintf("sub%d", i), leaves[i%len(leaves)])
+	}
+	for _, o := range ops {
+		typ := broker.MsgSubscribe
+		if o.unsub {
+			typ = broker.MsgUnsubscribe
+		}
+		subs[o.sub].Send(&broker.Message{Type: typ, XPE: o.xpe})
+		net.Run() // sequential operations, as a live system would interleave
+	}
+	for i, doc := range docs {
+		for _, p := range xmldoc.Extract(doc, uint64(i)) {
+			pub.Send(&broker.Message{Type: broker.MsgPublish, Pub: p})
+		}
+	}
+	net.Run()
+
+	var lines []string
+	for i, s := range subs {
+		for _, d := range s.Deliveries {
+			lines = append(lines, fmt.Sprintf("sub%d<-%s", i, d.Pub))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

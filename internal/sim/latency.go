@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LatencyModel yields the one-way delay for a message on a link.
+type LatencyModel interface {
+	Latency(from, to string, r *rand.Rand) time.Duration
+}
+
+// ConstantLatency is a fixed per-hop delay — the cluster-LAN model.
+type ConstantLatency time.Duration
+
+// Latency implements LatencyModel.
+func (c ConstantLatency) Latency(_, _ string, _ *rand.Rand) time.Duration {
+	return time.Duration(c)
+}
+
+// UniformLatency draws uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Latency implements LatencyModel.
+func (u UniformLatency) Latency(_, _ string, r *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)))
+}
+
+// PlanetLabLatency models wide-area links: a log-normal delay around Median
+// with multiplicative jitter, reproducing the "up to 15% per data point"
+// variation the paper reports on PlanetLab.
+type PlanetLabLatency struct {
+	// Median one-way delay (default 2ms, matching the paper's low
+	// millisecond per-hop numbers).
+	Median time.Duration
+	// Sigma is the log-normal shape parameter (default 0.15).
+	Sigma float64
+}
+
+// Latency implements LatencyModel.
+func (p PlanetLabLatency) Latency(_, _ string, r *rand.Rand) time.Duration {
+	median := p.Median
+	if median <= 0 {
+		median = 2 * time.Millisecond
+	}
+	sigma := p.Sigma
+	if sigma <= 0 {
+		sigma = 0.15
+	}
+	f := math.Exp(r.NormFloat64() * sigma)
+	return time.Duration(float64(median) * f)
+}

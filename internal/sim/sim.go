@@ -1,0 +1,259 @@
+// Package sim is a deterministic discrete-event simulator for broker
+// overlays. It exists because the paper's network experiments need two
+// things wall-clock runs give up: exact message counts (Tables 2 and 3) and
+// stable notification delays (Figures 10 and 11). Events are processed on a
+// virtual clock; per-hop delay is the sum of a pluggable link latency and,
+// optionally, the broker's *measured* real processing time for the message —
+// so routing-table compaction genuinely shows up as lower delay, exactly the
+// effect the paper measures.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/broker"
+)
+
+// Delivery records a publication arriving at a client.
+type Delivery struct {
+	Pub   string
+	At    time.Duration
+	Delay time.Duration
+}
+
+// Client is a publisher or subscriber attached to an edge broker.
+type Client struct {
+	ID     string
+	Broker string
+
+	// Deliveries accumulates received publications.
+	Deliveries []Delivery
+
+	net *Network
+}
+
+// Subscribe registers an XPath subscription at the client's edge broker.
+func (c *Client) Subscribe(m *broker.Message) { c.net.enqueueFromClient(c, m) }
+
+// Send submits any message (advertise, subscribe, publish, ...) to the
+// client's edge broker at the current virtual time.
+func (c *Client) Send(m *broker.Message) { c.net.enqueueFromClient(c, m) }
+
+// Network is the simulated overlay.
+type Network struct {
+	brokers map[string]*broker.Broker
+	clients map[string]*Client
+	queue   eventQueue
+	seq     int
+	now     time.Duration
+	rand    *rand.Rand
+
+	// Latency computes the link delay per message; defaults to a constant
+	// 500µs LAN.
+	Latency LatencyModel
+	// MeasureCompute adds each broker's real message-handling CPU time to
+	// the virtual clock, so delays reflect routing-table work.
+	MeasureCompute bool
+	// Bandwidth, when positive, adds a serialisation delay of
+	// wire-size/Bandwidth (bytes per second) per hop, which is how document
+	// size reaches the notification delay.
+	Bandwidth float64
+
+	// brokerReceived counts messages delivered to brokers, by type — the
+	// paper's network-traffic metric.
+	brokerReceived map[broker.MsgType]int64
+
+	outbox []outMsg // sends buffered during the current handler call
+}
+
+type outMsg struct {
+	to  string
+	msg *broker.Message
+}
+
+type event struct {
+	at   time.Duration
+	seq  int
+	from string
+	to   string
+	msg  *broker.Message
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NewNetwork constructs an empty simulated overlay.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		brokers:        make(map[string]*broker.Broker),
+		clients:        make(map[string]*Client),
+		rand:           rand.New(rand.NewSource(seed)),
+		Latency:        ConstantLatency(500 * time.Microsecond),
+		brokerReceived: make(map[broker.MsgType]int64),
+	}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// AddBroker creates a broker with the given config and places it in the
+// overlay.
+func (n *Network) AddBroker(cfg broker.Config) *broker.Broker {
+	id := cfg.ID
+	b := broker.New(cfg, func(to string, m *broker.Message) {
+		n.outbox = append(n.outbox, outMsg{to: to, msg: m})
+	})
+	n.brokers[id] = b
+	return b
+}
+
+// Broker returns a broker by ID, or nil.
+func (n *Network) Broker(id string) *broker.Broker { return n.brokers[id] }
+
+// Brokers returns all broker IDs in insertion-independent sorted order.
+func (n *Network) Brokers() map[string]*broker.Broker { return n.brokers }
+
+// Connect links two brokers as neighbours.
+func (n *Network) Connect(a, b string) {
+	ba, bb := n.brokers[a], n.brokers[b]
+	if ba == nil || bb == nil {
+		panic(fmt.Sprintf("sim: connect %s-%s: unknown broker", a, b))
+	}
+	ba.AddNeighbor(b)
+	bb.AddNeighbor(a)
+}
+
+// AddClient attaches a client to an edge broker.
+func (n *Network) AddClient(id, brokerID string) *Client {
+	b := n.brokers[brokerID]
+	if b == nil {
+		panic(fmt.Sprintf("sim: unknown broker %s", brokerID))
+	}
+	c := &Client{ID: id, Broker: brokerID, net: n}
+	n.clients[id] = c
+	b.AddClient(id)
+	return c
+}
+
+func (n *Network) enqueueFromClient(c *Client, m *broker.Message) {
+	if m.Type == broker.MsgPublish && m.Stamp == 0 {
+		m.Stamp = int64(n.now)
+	}
+	n.push(&event{
+		at:   n.now + n.Latency.Latency(c.ID, c.Broker, n.rand) + n.transfer(m),
+		from: c.ID,
+		to:   c.Broker,
+		msg:  m,
+	})
+}
+
+func (n *Network) push(e *event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, e)
+}
+
+// Run processes events until the queue drains, returning the number of
+// events delivered.
+func (n *Network) Run() int {
+	processed := 0
+	for n.queue.Len() > 0 {
+		e := heap.Pop(&n.queue).(*event)
+		n.now = e.at
+		processed++
+		if b := n.brokers[e.to]; b != nil {
+			n.brokerReceived[e.msg.Type]++
+			n.outbox = n.outbox[:0]
+			var proc time.Duration
+			if n.MeasureCompute {
+				start := time.Now()
+				b.HandleMessage(e.msg, e.from)
+				proc = time.Since(start)
+			} else {
+				b.HandleMessage(e.msg, e.from)
+			}
+			for _, om := range n.outbox {
+				n.push(&event{
+					at:   n.now + proc + n.Latency.Latency(e.to, om.to, n.rand) + n.transfer(om.msg),
+					from: e.to,
+					to:   om.to,
+					msg:  om.msg,
+				})
+			}
+			n.outbox = n.outbox[:0]
+			continue
+		}
+		if c := n.clients[e.to]; c != nil {
+			if e.msg.Type == broker.MsgPublish {
+				d := Delivery{Pub: e.msg.Pub.String(), At: n.now}
+				if e.msg.Stamp != 0 {
+					d.Delay = n.now - time.Duration(e.msg.Stamp)
+				}
+				c.Deliveries = append(c.Deliveries, d)
+			}
+			continue
+		}
+		panic(fmt.Sprintf("sim: event for unknown peer %s", e.to))
+	}
+	return processed
+}
+
+// transfer returns the serialisation delay for a message on a link.
+func (n *Network) transfer(m *broker.Message) time.Duration {
+	if n.Bandwidth <= 0 {
+		return 0
+	}
+	size := 96 // control-message envelope estimate
+	if m.Doc != nil {
+		size = m.Doc.Size()
+	} else if m.Type == broker.MsgPublish {
+		for _, el := range m.Pub.Path {
+			size += len(el) + 1
+		}
+	}
+	return time.Duration(float64(size) / n.Bandwidth * float64(time.Second))
+}
+
+// BrokerReceived returns how many messages of each type brokers received —
+// the paper's network-traffic metric.
+func (n *Network) BrokerReceived() map[broker.MsgType]int64 {
+	out := make(map[broker.MsgType]int64, len(n.brokerReceived))
+	for k, v := range n.brokerReceived {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalBrokerMessages sums BrokerReceived over all message types.
+func (n *Network) TotalBrokerMessages() int64 {
+	var total int64
+	for _, v := range n.brokerReceived {
+		total += v
+	}
+	return total
+}
+
+// ResetTraffic zeroes the traffic counters (useful between workload phases).
+func (n *Network) ResetTraffic() {
+	n.brokerReceived = make(map[broker.MsgType]int64)
+}

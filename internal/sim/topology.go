@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/broker"
+)
+
+// BrokerConfigFn customises the config of each broker in a generated
+// topology; it receives the broker's ID and a template to adjust.
+type BrokerConfigFn func(id string) broker.Config
+
+// ConfigTemplate returns a BrokerConfigFn that stamps the same strategy on
+// every broker.
+func ConfigTemplate(tpl broker.Config) BrokerConfigFn {
+	return func(id string) broker.Config {
+		cfg := tpl
+		cfg.ID = id
+		return cfg
+	}
+}
+
+// BuildCompleteBinaryTree creates the paper's evaluation topology: a
+// complete binary tree of brokers with the given number of levels (3 levels
+// = 7 brokers, 7 levels = 127 brokers). Broker IDs are "b1".."bN" in
+// breadth-first order, b1 being the root. It returns the IDs of the leaf
+// brokers, to which the paper attaches one subscriber each.
+func BuildCompleteBinaryTree(n *Network, levels int, cfg BrokerConfigFn) []string {
+	if levels < 1 {
+		panic("sim: binary tree needs at least one level")
+	}
+	total := (1 << levels) - 1
+	ids := make([]string, total+1) // 1-based
+	for i := 1; i <= total; i++ {
+		id := fmt.Sprintf("b%d", i)
+		ids[i] = id
+		n.AddBroker(cfg(id))
+	}
+	for i := 2; i <= total; i++ {
+		n.Connect(ids[i/2], ids[i])
+	}
+	firstLeaf := 1 << (levels - 1)
+	leaves := make([]string, 0, total-firstLeaf+1)
+	for i := firstLeaf; i <= total; i++ {
+		leaves = append(leaves, ids[i])
+	}
+	return leaves
+}
+
+// BuildChain creates a linear chain of brokers "b1"-"b2"-...-"bN", the
+// topology of the hop-count experiments (Figures 10 and 11). It returns the
+// broker IDs in order.
+func BuildChain(n *Network, length int, cfg BrokerConfigFn) []string {
+	if length < 1 {
+		panic("sim: chain needs at least one broker")
+	}
+	ids := make([]string, length)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("b%d", i+1)
+		n.AddBroker(cfg(ids[i]))
+	}
+	for i := 1; i < length; i++ {
+		n.Connect(ids[i-1], ids[i])
+	}
+	return ids
+}

@@ -1,0 +1,119 @@
+package subtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cover"
+	"repro/internal/xpath"
+)
+
+// TestQuickInsertReportsExactCoverState: Insert's Covered flag agrees with a
+// brute-force covering check against all previously stored expressions, and
+// NewlyCovered contains exactly the previously top-level expressions the new
+// one covers.
+func TestQuickInsertReportsExactCoverState(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New()
+		var stored []*xpath.XPE
+		for i := 0; i < 60; i++ {
+			x := randomXPE(r, 4)
+			// Brute-force expectations before the insert mutates the tree.
+			dup := tr.Lookup(x) != nil
+			expectCovered := dup
+			for _, y := range stored {
+				if !y.Equal(x) && cover.Covers(y, x) {
+					expectCovered = true
+					break
+				}
+			}
+			top := tr.TopLevel()
+			expectNewly := 0
+			if !expectCovered {
+				for _, n := range top {
+					if cover.Covers(x, n.XPE) {
+						expectNewly++
+					}
+				}
+			}
+			res := tr.Insert(x)
+			if !dup {
+				stored = append(stored, x)
+			}
+			if res.Duplicate != dup {
+				return false
+			}
+			if dup {
+				continue
+			}
+			if res.Covered != expectCovered {
+				return false
+			}
+			if !res.Covered && len(res.NewlyCovered) != expectNewly {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTopLevelIsMaximalSet: after arbitrary inserts, the top level is
+// exactly the set of stored expressions not strictly covered by any other
+// stored expression... except where equal-set expressions nest (mutual
+// covering), in which case one of them represents the other at the top.
+func TestQuickTopLevelIsMaximalSet(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New()
+		var stored []*xpath.XPE
+		for i := 0; i < 40; i++ {
+			res := tr.Insert(randomXPE(r, 4))
+			if !res.Duplicate {
+				stored = append(stored, res.Node.XPE)
+			}
+		}
+		top := make(map[string]bool)
+		for _, n := range tr.TopLevel() {
+			top[n.XPE.Key()] = true
+		}
+		for _, x := range stored {
+			covered := false
+			for _, y := range stored {
+				if !y.Equal(x) && cover.Covers(y, x) && !cover.Covers(x, y) {
+					covered = true
+					break
+				}
+			}
+			// A strictly-covered expression must not be top-level; an
+			// uncovered one must be reachable at the top unless a mutual-
+			// covering twin holds its spot.
+			if covered && top[x.Key()] {
+				// Strictly covered expressions may still sit at the top if
+				// they arrived before their coverer and the coverer was
+				// inserted elsewhere... which Insert prevents by adoption.
+				return false
+			}
+			if !covered && !top[x.Key()] {
+				mutual := false
+				for _, y := range stored {
+					if !y.Equal(x) && cover.Covers(y, x) && cover.Covers(x, y) {
+						mutual = true
+						break
+					}
+				}
+				if !mutual {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

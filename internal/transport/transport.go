@@ -1,0 +1,305 @@
+// Package transport deploys brokers over real TCP connections — the mode the
+// paper ran on its cluster and on PlanetLab. Peers exchange gob-encoded
+// frames over persistent connections; each connection begins with a hello
+// frame identifying the peer, after which either side streams messages.
+//
+// The discrete-event simulator (package sim) is the tool for controlled
+// experiments; this package is the deployable counterpart with identical
+// broker semantics.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+)
+
+// hello is the first frame on every connection.
+type hello struct {
+	ID string
+}
+
+// peerConn is one live connection with its write lock.
+type peerConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
+func (p *peerConn) write(m *broker.Message) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enc.Encode(m)
+}
+
+// Server hosts one broker behind a TCP listener.
+type Server struct {
+	cfg       broker.Config
+	neighbors map[string]string // broker ID -> address
+
+	mu    sync.Mutex // serialises broker handling
+	b     *broker.Broker
+	ln    net.Listener
+	peers sync.Map // peer ID -> *peerConn
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+// NewServer creates a broker server. neighbors maps neighbouring broker IDs
+// to their TCP addresses; they are registered as overlay links immediately
+// and dialled lazily.
+func NewServer(cfg broker.Config, neighbors map[string]string) *Server {
+	s := &Server{
+		cfg:       cfg,
+		neighbors: neighbors,
+		closed:    make(chan struct{}),
+	}
+	s.b = broker.New(cfg, s.send)
+	for id := range neighbors {
+		s.b.AddNeighbor(id)
+	}
+	return s
+}
+
+// Broker exposes the underlying router for configuration before Listen;
+// once the server is running, use the locked accessors below.
+func (s *Server) Broker() *broker.Broker { return s.b }
+
+// PRTSize returns the broker's subscription-table size under the server
+// lock.
+func (s *Server) PRTSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.PRTSize()
+}
+
+// SRTSize returns the broker's advertisement-table size under the server
+// lock.
+func (s *Server) SRTSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.SRTSize()
+}
+
+// Stats returns the broker's counters under the server lock.
+func (s *Server) Stats() broker.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Stats()
+}
+
+// Listen binds the server to addr (use "127.0.0.1:0" for tests) and starts
+// the accept loop. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and drops all connections.
+func (s *Server) Close() {
+	s.closeMu.Do(func() { close(s.closed) })
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.peers.Range(func(_, v any) bool {
+		v.(*peerConn).conn.Close()
+		return true
+	})
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn, "")
+	}
+}
+
+// serveConn handles one connection. If expectID is empty the peer
+// identifies itself with a hello; otherwise the connection was dialled and
+// the remote ID is already known (we still read its hello for symmetry).
+func (s *Server) serveConn(conn net.Conn, expectID string) {
+	defer s.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		return
+	}
+	id := h.ID
+	if expectID != "" && id != expectID {
+		return // neighbour misconfiguration
+	}
+	pc := &peerConn{conn: conn, enc: enc}
+	s.peers.Store(id, pc)
+	defer s.peers.Delete(id)
+	if _, isNeighbor := s.neighbors[id]; !isNeighbor {
+		s.mu.Lock()
+		s.b.AddClient(id)
+		s.mu.Unlock()
+	}
+	for {
+		var m broker.Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.b.HandleMessage(&m, id)
+		s.mu.Unlock()
+	}
+}
+
+// send delivers a message to a peer, dialling neighbours on demand.
+func (s *Server) send(to string, m *broker.Message) {
+	if pc, ok := s.peers.Load(to); ok {
+		if err := pc.(*peerConn).write(m); err != nil {
+			s.peers.Delete(to)
+		}
+		return
+	}
+	addr, isNeighbor := s.neighbors[to]
+	if !isNeighbor {
+		return // disconnected client
+	}
+	pc, err := s.dial(to, addr)
+	if err != nil {
+		return
+	}
+	if err := pc.write(m); err != nil {
+		s.peers.Delete(to)
+	}
+}
+
+func (s *Server) dial(id, addr string) (*peerConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", id, addr, err)
+	}
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(hello{ID: s.cfg.ID}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: hello to %s: %w", id, err)
+	}
+	pc := &peerConn{conn: conn, enc: enc}
+	s.peers.Store(id, pc)
+	// The dialled neighbour may speak back on the same connection.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer conn.Close()
+		defer s.peers.Delete(id)
+		dec := gob.NewDecoder(conn)
+		for {
+			var m broker.Message
+			if err := dec.Decode(&m); err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.b.HandleMessage(&m, id)
+			s.mu.Unlock()
+		}
+	}()
+	return pc, nil
+}
+
+// Client is a publisher/subscriber endpoint over TCP.
+type Client struct {
+	ID string
+
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+
+	// Deliveries receives publications matching the client's
+	// subscriptions. The channel is closed when the connection drops.
+	Deliveries chan *broker.Message
+
+	closeOnce sync.Once
+}
+
+// Dial connects a client to its edge broker.
+func Dial(addr, id string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: client dial %s: %w", addr, err)
+	}
+	c := &Client{
+		ID:         id,
+		conn:       conn,
+		enc:        gob.NewEncoder(conn),
+		Deliveries: make(chan *broker.Message, 1024),
+	}
+	if err := c.enc.Encode(hello{ID: id}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: client hello: %w", err)
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var m broker.Message
+		if err := dec.Decode(&m); err != nil {
+			close(c.Deliveries)
+			return
+		}
+		c.Deliveries <- &m
+	}
+}
+
+// Send submits any message to the edge broker.
+func (c *Client) Send(m *broker.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.Type == broker.MsgPublish && m.Stamp == 0 {
+		m.Stamp = time.Now().UnixNano()
+	}
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() {
+	c.closeOnce.Do(func() { c.conn.Close() })
+}
+
+// WaitDelivery receives one delivery with a timeout.
+func (c *Client) WaitDelivery(timeout time.Duration) (*broker.Message, error) {
+	select {
+	case m, ok := <-c.Deliveries:
+		if !ok {
+			return nil, errors.New("transport: connection closed")
+		}
+		return m, nil
+	case <-time.After(timeout):
+		return nil, errors.New("transport: delivery timeout")
+	}
+}

@@ -1,0 +1,68 @@
+package xmldoc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAnnotatedPaths(t *testing.T) {
+	d, err := Parse([]byte(`<claims><claim lang="en" urgency="2"><detail/></claim><claim lang="fr"><detail/></claim></claims>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, attrs := d.AnnotatedPaths()
+	if len(paths) != 2 || len(attrs) != 2 {
+		t.Fatalf("paths = %d, attrs = %d", len(paths), len(attrs))
+	}
+	want := []string{"claims", "claim", "detail"}
+	if !reflect.DeepEqual(paths[0], want) {
+		t.Errorf("path = %v", paths[0])
+	}
+	if attrs[0][0] != nil {
+		t.Errorf("claims has no attributes, got %v", attrs[0][0])
+	}
+	if attrs[0][1]["lang"] != "en" || attrs[0][1]["urgency"] != "2" {
+		t.Errorf("claim attrs = %v", attrs[0][1])
+	}
+	if attrs[1][1]["lang"] != "fr" {
+		t.Errorf("second claim attrs = %v", attrs[1][1])
+	}
+	if attrs[0][2] != nil {
+		t.Errorf("detail has no attributes, got %v", attrs[0][2])
+	}
+}
+
+func TestExtractCarriesAttributes(t *testing.T) {
+	d, err := Parse([]byte(`<a x="1"><b y="2"/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubs := Extract(d, 1)
+	if len(pubs) != 1 {
+		t.Fatalf("pubs = %d", len(pubs))
+	}
+	if pubs[0].Attrs[0]["x"] != "1" || pubs[0].Attrs[1]["y"] != "2" {
+		t.Errorf("Attrs = %v", pubs[0].Attrs)
+	}
+}
+
+// TestAnnotatedPathsShareMaps: the same element's attribute map is shared
+// across the paths traversing it (memory matters for wide documents).
+func TestAnnotatedPathsShareMaps(t *testing.T) {
+	d, err := Parse([]byte(`<r k="v"><a/><b/></r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, attrs := d.AnnotatedPaths()
+	if len(attrs) != 2 {
+		t.Fatalf("attrs = %d", len(attrs))
+	}
+	if &attrs[0][0] == &attrs[1][0] {
+		t.Skip("slices differ; compare map identity below")
+	}
+	// Mutating through one view must be visible through the other: same map.
+	attrs[0][0]["probe"] = "yes"
+	if attrs[1][0]["probe"] != "yes" {
+		t.Error("root attribute maps are not shared between paths")
+	}
+}

@@ -1,0 +1,107 @@
+package xmldoc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sample = `<catalog><book isbn="1"><title>Go</title><author>Pike</author></book><book isbn="2"><title>XML</title></book><note/></catalog>`
+
+func TestParseAndPaths(t *testing.T) {
+	d, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Name != "catalog" || len(d.Root.Children) != 3 {
+		t.Fatalf("root = %+v", d.Root)
+	}
+	got := d.Paths()
+	want := [][]string{
+		{"catalog", "book", "title"},
+		{"catalog", "book", "author"},
+		{"catalog", "book", "title"},
+		{"catalog", "note"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Paths = %v, want %v", got, want)
+	}
+	if d.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", d.Depth())
+	}
+	if d.CountElements() != 7 {
+		t.Errorf("CountElements = %d, want 7", d.CountElements())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.Marshal()
+	d2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(d.Paths(), d2.Paths()) {
+		t.Error("paths changed across serialisation round trip")
+	}
+	if d.Size() != len(out) {
+		t.Errorf("Size() = %d, Marshal length = %d", d.Size(), len(out))
+	}
+}
+
+func TestAttributesAndText(t *testing.T) {
+	d, err := Parse([]byte(`<a x="1 &amp; 2">hello <b>world</b> tail</a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Root.Attrs) != 1 || d.Root.Attrs[0].Value != "1 & 2" {
+		t.Errorf("attrs = %+v", d.Root.Attrs)
+	}
+	if !strings.Contains(d.Root.Text, "hello") {
+		t.Errorf("text = %q", d.Root.Text)
+	}
+	out := string(d.Marshal())
+	if !strings.Contains(out, "&amp;") {
+		t.Errorf("escaping lost: %s", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "<a>", "<a></b>", "<a/><b/>", "text only",
+	} {
+		if _, err := Parse([]byte(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestExtract(t *testing.T) {
+	d, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubs := Extract(d, 7)
+	if len(pubs) != 4 {
+		t.Fatalf("got %d publications", len(pubs))
+	}
+	if pubs[0].DocID != 7 || pubs[0].PathID != 0 {
+		t.Errorf("pub ids = %+v", pubs[0])
+	}
+	if pubs[3].String() != "doc7#3:/catalog/note" {
+		t.Errorf("String = %q", pubs[3].String())
+	}
+}
+
+func TestSelfClosingLeaf(t *testing.T) {
+	d, err := Parse([]byte(`<a><b/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(d.Marshal()); got != `<a><b/></a>` {
+		t.Errorf("Marshal = %q", got)
+	}
+}

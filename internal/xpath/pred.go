@@ -1,0 +1,214 @@
+package xpath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pred is an attribute equality predicate on a location step:
+// "[@name='value']". The paper notes its approach "could be easily extended
+// to element attributes and content ... through value comparison"; this file
+// is that extension. A step may carry several predicates; all must hold.
+//
+// On a Step, predicates are stored in canonical encoded form (Step.Preds),
+// which keeps Step a comparable value type; EncodePreds and DecodePreds
+// convert.
+type Pred struct {
+	Attr  string
+	Value string
+}
+
+// String renders the predicate in XPath syntax.
+func (p Pred) String() string {
+	return "[@" + p.Attr + "='" + p.Value + "']"
+}
+
+// EncodePreds renders predicates in canonical (sorted) form, the
+// representation Step.Preds holds. It returns "" for no predicates.
+func EncodePreds(preds []Pred) string {
+	if len(preds) == 0 {
+		return ""
+	}
+	sorted := make([]Pred, len(preds))
+	copy(sorted, preds)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Attr != sorted[j].Attr {
+			return sorted[i].Attr < sorted[j].Attr
+		}
+		return sorted[i].Value < sorted[j].Value
+	})
+	var b strings.Builder
+	for _, p := range sorted {
+		b.WriteString(p.String())
+	}
+	return b.String()
+}
+
+// DecodePreds parses a canonical predicate string back into predicates.
+// Malformed input yields nil; Step.Preds is only ever produced by
+// EncodePreds or the parser, which guarantee well-formedness.
+func DecodePreds(encoded string) []Pred {
+	if encoded == "" {
+		return nil
+	}
+	preds, rest, err := parsePredicates(encoded, 0)
+	if err != nil || rest != len(encoded) {
+		return nil
+	}
+	return preds
+}
+
+// HasPredicates reports whether any step carries attribute predicates.
+func (x *XPE) HasPredicates() bool {
+	for _, s := range x.Steps {
+		if s.Preds != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// predsSatisfied reports whether the step's predicates hold for the
+// attributes of one path element. A missing attribute fails its predicate.
+func predsSatisfied(s Step, attrs map[string]string) bool {
+	if s.Preds == "" {
+		return true
+	}
+	for _, p := range DecodePreds(s.Preds) {
+		if attrs == nil {
+			return false
+		}
+		if v, ok := attrs[p.Attr]; !ok || v != p.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// stepMatchesAnnotated is stepMatches plus predicate evaluation.
+func stepMatchesAnnotated(s Step, name string, attrs map[string]string) bool {
+	return stepMatches(s, name) && predsSatisfied(s, attrs)
+}
+
+// MatchesPathAttrs is MatchesPath with attribute predicates evaluated
+// against per-element attribute maps (attrs[i] belongs to path[i]; a nil
+// slice or nil entry means "no attributes", which fails any predicate).
+// Expressions without predicates behave exactly like MatchesPath.
+func (x *XPE) MatchesPathAttrs(path []string, attrs []map[string]string) bool {
+	if len(x.Steps) == 0 {
+		return false
+	}
+	if !x.HasPredicates() {
+		return x.MatchesPath(path)
+	}
+	at := func(i int) map[string]string {
+		if i < len(attrs) {
+			return attrs[i]
+		}
+		return nil
+	}
+	if x.Relative {
+		for start := 0; start+len(x.Steps) <= len(path); start++ {
+			if matchFromAttrs(x.Steps, path, start, at) {
+				return true
+			}
+		}
+		return false
+	}
+	return matchFromAttrs(x.Steps, path, 0, at)
+}
+
+func matchFromAttrs(steps []Step, path []string, pos int, at func(int) map[string]string) bool {
+	if len(steps) == 0 {
+		return true
+	}
+	s := steps[0]
+	if s.Axis == Child {
+		if pos >= len(path) || !stepMatchesAnnotated(s, path[pos], at(pos)) {
+			return false
+		}
+		return matchFromAttrs(steps[1:], path, pos+1, at)
+	}
+	for p := pos; p < len(path); p++ {
+		if stepMatchesAnnotated(s, path[p], at(p)) && matchFromAttrs(steps[1:], path, p+1, at) {
+			return true
+		}
+	}
+	return false
+}
+
+// StepCovers extends the element-wise covering rule to predicates: step a
+// covers step b iff a's name test covers b's and a's predicates are a
+// subset of b's (fewer constraints admit more publications).
+func StepCovers(a, b Step) bool {
+	if !SymbolCovers(a.Name, b.Name) {
+		return false
+	}
+	if a.Preds == "" || a.Preds == b.Preds {
+		return true
+	}
+	return predsSubset(DecodePreds(a.Preds), DecodePreds(b.Preds))
+}
+
+// predsSubset reports whether every predicate of a also appears in b.
+func predsSubset(a, b []Pred) bool {
+	if len(a) > len(b) {
+		return false
+	}
+outer:
+	for _, pa := range a {
+		for _, pb := range b {
+			if pa == pb {
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// parsePredicates consumes zero or more "[@name='value']" groups starting
+// at input[i], returning the predicates and the new offset.
+func parsePredicates(input string, i int) ([]Pred, int, error) {
+	var preds []Pred
+	for i < len(input) && input[i] == '[' {
+		j := i + 1
+		if j >= len(input) || input[j] != '@' {
+			return nil, i, fmt.Errorf("expected '@' after '[' at offset %d", i)
+		}
+		j++
+		nameStart := j
+		for j < len(input) && input[j] != '=' {
+			j++
+		}
+		if j >= len(input) {
+			return nil, i, fmt.Errorf("unterminated predicate at offset %d", i)
+		}
+		name := input[nameStart:j]
+		if name == "" {
+			return nil, i, fmt.Errorf("empty attribute name at offset %d", nameStart)
+		}
+		j++ // '='
+		if j >= len(input) || (input[j] != '\'' && input[j] != '"') {
+			return nil, i, fmt.Errorf("expected quoted value at offset %d", j)
+		}
+		quote := input[j]
+		j++
+		valStart := j
+		end := strings.IndexByte(input[j:], quote)
+		if end < 0 {
+			return nil, i, fmt.Errorf("unterminated value at offset %d", valStart)
+		}
+		j += end
+		value := input[valStart:j]
+		j++ // closing quote
+		if j >= len(input) || input[j] != ']' {
+			return nil, i, fmt.Errorf("expected ']' at offset %d", j)
+		}
+		j++
+		preds = append(preds, Pred{Attr: name, Value: value})
+		i = j
+	}
+	return preds, i, nil
+}

@@ -1,0 +1,178 @@
+// Package xmlrouter is the public API of the XML/XPath content-based
+// routing library, a reproduction of "Routing of XML and XPath Queries in
+// Data Dissemination Networks" (Li, Hou, Jacobsen — ICDCS 2008).
+//
+// The library routes XML documents from producers to consumers across an
+// overlay of content-based routers. Producers are described by DTDs, from
+// which the system derives advertisements; consumers register XPath
+// subscriptions; brokers keep routing state compact with covering and
+// merging optimisations.
+//
+// Three layers are exposed:
+//
+//   - algorithms: XPath expressions (ParseXPE), advertisements
+//     (GenerateAdvertisements, ParseAdvertisement), covering (Covers), and
+//     merging (MergeSubscriptions);
+//   - a deterministic discrete-event overlay simulator (NewNetwork,
+//     BuildCompleteBinaryTree, BuildChain) for experiments;
+//   - a TCP deployment (NewBrokerServer, DialBroker) for real networks.
+//
+// See the examples directory for runnable scenarios, and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology.
+package xmlrouter
+
+import (
+	"repro/internal/advert"
+	"repro/internal/broker"
+	"repro/internal/cover"
+	"repro/internal/dtd"
+	"repro/internal/dtddata"
+	"repro/internal/gen"
+	"repro/internal/merge"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// Core data types.
+type (
+	// XPE is a parsed XPath expression (the subscription language: "/",
+	// "//", "*" over element names).
+	XPE = xpath.XPE
+	// Step is one location step of an XPE.
+	Step = xpath.Step
+	// Pred is an attribute predicate on a step ("[@name='value']").
+	Pred = xpath.Pred
+	// Advertisement is an absolute path pattern derived from a producer
+	// DTD, possibly with recursive "(...)+" groups.
+	Advertisement = advert.Advertisement
+	// DTD is a parsed document type definition.
+	DTD = dtd.DTD
+	// Document is an XML document.
+	Document = xmldoc.Document
+	// Publication is one root-to-leaf path of a document, the routing unit.
+	Publication = xmldoc.Publication
+	// Message is the broker protocol unit.
+	Message = broker.Message
+	// Broker is a content-based XML router.
+	Broker = broker.Broker
+	// BrokerConfig selects a broker's routing strategy.
+	BrokerConfig = broker.Config
+	// Network is the deterministic overlay simulator.
+	Network = sim.Network
+	// SimClient is a publisher/subscriber in the simulator.
+	SimClient = sim.Client
+	// BrokerServer hosts a broker over TCP.
+	BrokerServer = transport.Server
+	// NetClient is a publisher/subscriber endpoint over TCP.
+	NetClient = transport.Client
+	// Merger is the outcome of a subscription merge.
+	Merger = merge.Merger
+	// XPathGenerator produces random subscription workloads from a DTD.
+	XPathGenerator = gen.XPathGenerator
+	// DocGenerator produces documents conforming to a DTD.
+	DocGenerator = gen.DocGenerator
+)
+
+// Message types.
+const (
+	MsgAdvertise   = broker.MsgAdvertise
+	MsgUnadvertise = broker.MsgUnadvertise
+	MsgSubscribe   = broker.MsgSubscribe
+	MsgUnsubscribe = broker.MsgUnsubscribe
+	MsgPublish     = broker.MsgPublish
+)
+
+// Merging modes.
+const (
+	MergeOff       = broker.MergeOff
+	MergePerfect   = broker.MergePerfect
+	MergeImperfect = broker.MergeImperfect
+)
+
+// ParseXPE parses an XPath expression of the supported fragment, e.g.
+// "/nitf/body//p", "*/quote", or "/claim[@lang='en']//detail".
+func ParseXPE(s string) (*XPE, error) { return xpath.Parse(s) }
+
+// MustParseXPE is ParseXPE for statically known expressions.
+func MustParseXPE(s string) *XPE { return xpath.MustParse(s) }
+
+// ParseDTD parses DTD text.
+func ParseDTD(text string) (*DTD, error) { return dtd.Parse(text) }
+
+// ParseDocument parses an XML document.
+func ParseDocument(data []byte) (*Document, error) { return xmldoc.Parse(data) }
+
+// ExtractPublications decomposes a document into its publications.
+func ExtractPublications(d *Document, docID uint64) []Publication {
+	return xmldoc.Extract(d, docID)
+}
+
+// ParseAdvertisement parses the internal advertisement notation, e.g.
+// "/a/*(/e/d)+/c".
+func ParseAdvertisement(s string) (*Advertisement, error) { return advert.Parse(s) }
+
+// GenerateAdvertisements derives the complete advertisement set from a
+// producer DTD.
+func GenerateAdvertisements(d *DTD) ([]*Advertisement, error) { return advert.Generate(d) }
+
+// Covers reports whether subscription s1 covers s2 (every publication
+// matching s2 matches s1).
+func Covers(s1, s2 *XPE) bool { return cover.Covers(s1, s2) }
+
+// Overlaps reports whether an advertisement's publication set intersects a
+// subscription's — the forwarding condition of advertisement-based routing.
+func Overlaps(a *Advertisement, s *XPE) bool { return a.Overlaps(s) }
+
+// MergeSubscriptions merges same-shape subscriptions by generalising up to
+// one differing element test and optionally one operator (the paper's rules
+// 1 and 2); ok is false when the inputs do not qualify.
+func MergeSubscriptions(xpes []*XPE, allowOperatorDiff bool) (merged *XPE, ok bool) {
+	maxOp := 0
+	if allowOperatorDiff {
+		maxOp = 1
+	}
+	m, _, ok := merge.MergePositionwise(xpes, 1, maxOp)
+	return m, ok
+}
+
+// NITF returns the embedded recursive news-article DTD used by the
+// evaluation.
+func NITF() *DTD { return dtddata.NITF() }
+
+// PSD returns the embedded non-recursive protein-database DTD used by the
+// evaluation.
+func PSD() *DTD { return dtddata.PSD() }
+
+// NewNetwork creates an empty simulated overlay.
+func NewNetwork(seed int64) *Network { return sim.NewNetwork(seed) }
+
+// BuildCompleteBinaryTree builds the paper's binary-tree topology and
+// returns the leaf broker IDs.
+func BuildCompleteBinaryTree(n *Network, levels int, cfg BrokerConfig) []string {
+	return sim.BuildCompleteBinaryTree(n, levels, sim.ConfigTemplate(cfg))
+}
+
+// BuildChain builds a linear broker chain and returns the broker IDs.
+func BuildChain(n *Network, length int, cfg BrokerConfig) []string {
+	return sim.BuildChain(n, length, sim.ConfigTemplate(cfg))
+}
+
+// NewBrokerServer creates a TCP broker; neighbors maps neighbouring broker
+// IDs to addresses.
+func NewBrokerServer(cfg BrokerConfig, neighbors map[string]string) *BrokerServer {
+	return transport.NewServer(cfg, neighbors)
+}
+
+// DialBroker connects a client to a TCP broker.
+func DialBroker(addr, id string) (*NetClient, error) { return transport.Dial(addr, id) }
+
+// NewXPathGenerator returns a subscription-workload generator with
+// wildcard probability w and descendant probability do.
+func NewXPathGenerator(d *DTD, w, do float64, seed int64) *XPathGenerator {
+	return gen.NewXPathGenerator(d, w, do, seed)
+}
+
+// NewDocGenerator returns a document generator for the DTD.
+func NewDocGenerator(d *DTD, seed int64) *DocGenerator { return gen.NewDocGenerator(d, seed) }
