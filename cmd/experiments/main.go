@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,19 +21,34 @@ import (
 )
 
 func main() {
-	var (
-		full = flag.Bool("full", false, "run at (close to) the paper's scale")
-		n    = flag.Int("n", 0, "override the XPE count of table-size experiments")
-		seed = flag.Int64("seed", 0, "override the workload seed")
-	)
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [flags] {fig6|fig7|fig8|tab1|tab2|tab3|fig9|fig10|fig11|all}\n", os.Args[0])
-		flag.PrintDefaults()
-	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
 		os.Exit(2)
+	}
+}
+
+// run executes one experiments invocation, writing tables to out. It is the
+// whole program behind flag parsing, factored out for testing.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		full = fs.Bool("full", false, "run at (close to) the paper's scale")
+		n    = fs.Int("n", 0, "override the XPE count of table-size experiments")
+		seed = fs.Int64("seed", 0, "override the workload seed")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(out, "usage: experiments [flags] {fig6|fig7|fig8|tab1|tab2|tab3|fig9|fig10|fig11|all}\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment name")
 	}
 
 	scaleN := 6000
@@ -50,25 +66,25 @@ func main() {
 	runners := map[string]func() error{
 		"fig6": func() error {
 			res, err := experiment.RunFig6(experiment.Fig6Options{N: scaleN, Seed: *seed})
-			return show(res, err)
+			return show(out, res, err)
 		},
 		"fig7": func() error {
 			res, err := experiment.RunFig7(experiment.Fig7Options{N: scaleN, Seed: *seed})
-			return show(res, err)
+			return show(out, res, err)
 		},
 		"fig8": func() error {
 			res, err := experiment.RunFig8(experiment.Fig8Options{Seed: *seed})
-			return show(res, err)
+			return show(out, res, err)
 		},
 		"tab1": func() error {
 			res, err := experiment.RunTable1(experiment.Table1Options{N: scaleN, Seed: *seed})
-			return show(res, err)
+			return show(out, res, err)
 		},
 		"tab2": func() error {
 			res, err := experiment.RunNetwork(experiment.NetworkOptions{
 				Levels: 3, SubsPerSubscriber: netSubs, Docs: netDocs, Seed: *seed,
 			})
-			return show(res, err)
+			return show(out, res, err)
 		},
 		"tab3": func() error {
 			subs := netSubs
@@ -78,53 +94,52 @@ func main() {
 			res, err := experiment.RunNetwork(experiment.NetworkOptions{
 				Levels: 7, SubsPerSubscriber: subs, Docs: netDocs / 5, Seed: *seed,
 			})
-			return show(res, err)
+			return show(out, res, err)
 		},
 		"fig9": func() error {
 			res, err := experiment.RunFig9(experiment.Fig9Options{Seed: *seed})
-			return show(res, err)
+			return show(out, res, err)
 		},
 		"fig10": func() error {
 			res, err := experiment.RunFig10(experiment.DelayOptions{Seed: *seed})
-			return show(res, err)
+			return show(out, res, err)
 		},
 		"fig11": func() error {
 			res, err := experiment.RunFig11(experiment.DelayOptions{Seed: *seed})
-			return show(res, err)
+			return show(out, res, err)
 		},
 	}
 
-	name := flag.Arg(0)
+	name := fs.Arg(0)
 	if name == "all" {
 		for _, id := range []string{"fig6", "fig7", "fig8", "tab1", "tab2", "tab3", "fig9", "fig10", "fig11"} {
 			start := time.Now()
-			fmt.Printf("=== %s ===\n", id)
+			fmt.Fprintf(out, "=== %s ===\n", id)
 			if err := runners[id](); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-				os.Exit(1)
+				return fmt.Errorf("%s: %w", id, err)
 			}
-			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(out, "(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
-		return
+		return nil
 	}
-	run, ok := runners[name]
+	runner, ok := runners[name]
 	if !ok {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", name)
 	}
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-		os.Exit(1)
+	if err := runner(); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
 	}
+	return nil
 }
 
 // tabler is any experiment result that renders as a table.
 type tabler interface{ Table() *experiment.Table }
 
-func show(res tabler, err error) error {
+func show(out io.Writer, res tabler, err error) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(res.Table())
+	fmt.Fprintln(out, res.Table())
 	return nil
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFig6Small is the end-to-end smoke test: a tiny fig6 run through the
+// real flag surface must print the figure's table.
+func TestRunFig6Small(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "300", "-seed", "2", "fig6"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "Figure 6") {
+		t.Errorf("output does not mention Figure 6:\n%s", got)
+	}
+	if !strings.Contains(got, "300") {
+		t.Errorf("output does not reach the requested N=300:\n%s", got)
+	}
+}
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{},                     // missing experiment name
+		{"fig6", "fig7"},       // too many names
+		{"nonesuch"},           // unknown experiment
+		{"-bogusflag", "tab1"}, // unknown flag
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}

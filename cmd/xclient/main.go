@@ -17,7 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
@@ -31,19 +31,37 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "xclient: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run executes one xclient invocation (one of advertise, publish, or
+// subscribe-and-wait), writing progress and deliveries to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xclient", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		connect      = flag.String("connect", "localhost:7001", "broker address")
-		id           = flag.String("id", "client1", "client identifier")
-		subscribe    = flag.String("subscribe", "", "XPath subscription; waits for deliveries")
-		publish      = flag.String("publish", "", "XML file to publish as a document")
-		advertiseDTD = flag.String("advertise-dtd", "", "DTD file (or 'nitf'/'psd') whose advertisements to flood")
-		wait         = flag.Duration("wait", 0, "how long to wait for deliveries (0 = forever)")
+		connect      = fs.String("connect", "localhost:7001", "broker address")
+		id           = fs.String("id", "client1", "client identifier")
+		subscribe    = fs.String("subscribe", "", "XPath subscription; waits for deliveries")
+		publish      = fs.String("publish", "", "XML file to publish as a document")
+		advertiseDTD = fs.String("advertise-dtd", "", "DTD file (or 'nitf'/'psd') whose advertisements to flood")
+		wait         = fs.Duration("wait", 0, "how long to wait for deliveries (0 = forever)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
 
 	c, err := transport.Dial(*connect, *id)
 	if err != nil {
-		log.Fatalf("xclient: %v", err)
+		return err
 	}
 	defer c.Close()
 
@@ -51,43 +69,43 @@ func main() {
 	case *advertiseDTD != "":
 		d, err := loadDTD(*advertiseDTD)
 		if err != nil {
-			log.Fatalf("xclient: %v", err)
+			return err
 		}
 		advs, err := advert.Generate(d)
 		if err != nil {
-			log.Fatalf("xclient: %v", err)
+			return err
 		}
 		for i, a := range advs {
 			msg := &broker.Message{Type: broker.MsgAdvertise, AdvID: fmt.Sprintf("%s-a%d", *id, i), Adv: a}
 			if err := c.Send(msg); err != nil {
-				log.Fatalf("xclient: advertise: %v", err)
+				return fmt.Errorf("advertise: %w", err)
 			}
 		}
-		log.Printf("advertised %d path patterns from %s", len(advs), *advertiseDTD)
+		fmt.Fprintf(out, "advertised %d path patterns from %s\n", len(advs), *advertiseDTD)
 
 	case *publish != "":
 		data, err := os.ReadFile(*publish)
 		if err != nil {
-			log.Fatalf("xclient: %v", err)
+			return err
 		}
 		doc, err := xmldoc.Parse(data)
 		if err != nil {
-			log.Fatalf("xclient: %v", err)
+			return err
 		}
 		if err := c.Send(&broker.Message{Type: broker.MsgPublish, Doc: doc}); err != nil {
-			log.Fatalf("xclient: publish: %v", err)
+			return fmt.Errorf("publish: %w", err)
 		}
-		log.Printf("published %s (%d bytes, %d paths)", *publish, doc.Size(), len(doc.Paths()))
+		fmt.Fprintf(out, "published %s (%d bytes, %d paths)\n", *publish, doc.Size(), len(doc.Paths()))
 
 	case *subscribe != "":
 		x, err := xpath.Parse(*subscribe)
 		if err != nil {
-			log.Fatalf("xclient: %v", err)
+			return err
 		}
 		if err := c.Send(&broker.Message{Type: broker.MsgSubscribe, XPE: x}); err != nil {
-			log.Fatalf("xclient: subscribe: %v", err)
+			return fmt.Errorf("subscribe: %w", err)
 		}
-		log.Printf("subscribed to %s; waiting for documents", x)
+		fmt.Fprintf(out, "subscribed to %s; waiting for documents\n", x)
 		deadline := make(<-chan time.Time)
 		if *wait > 0 {
 			deadline = time.After(*wait)
@@ -96,18 +114,19 @@ func main() {
 			select {
 			case m, ok := <-c.Deliveries:
 				if !ok {
-					log.Fatal("xclient: connection closed")
+					return fmt.Errorf("connection closed")
 				}
-				printDelivery(m)
+				printDelivery(out, m)
 			case <-deadline:
-				return
+				return nil
 			}
 		}
 
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("one of -subscribe, -publish, -advertise-dtd is required")
 	}
+	return nil
 }
 
 func loadDTD(name string) (*dtd.DTD, error) {
@@ -124,14 +143,14 @@ func loadDTD(name string) (*dtd.DTD, error) {
 	return dtd.Parse(string(data))
 }
 
-func printDelivery(m *broker.Message) {
+func printDelivery(out io.Writer, m *broker.Message) {
 	delay := ""
 	if m.Stamp != 0 {
 		delay = fmt.Sprintf(" (delay %v)", time.Since(time.Unix(0, m.Stamp)).Round(time.Microsecond))
 	}
 	if m.Doc != nil {
-		log.Printf("received document <%s> with %d paths%s", m.Doc.Root.Name, len(m.Doc.Paths()), delay)
+		fmt.Fprintf(out, "received document <%s> with %d paths%s\n", m.Doc.Root.Name, len(m.Doc.Paths()), delay)
 		return
 	}
-	log.Printf("received %s%s", m.Pub, delay)
+	fmt.Fprintf(out, "received %s%s\n", m.Pub, delay)
 }

@@ -9,7 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -19,20 +19,38 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "xmlgen: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run executes one xmlgen invocation. Documents (with -out "") and progress
+// lines are written to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xmlgen", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		dtdName = flag.String("dtd", "psd", "DTD: 'nitf', 'psd', or a file path")
-		n       = flag.Int("n", 1, "number of documents")
-		size    = flag.Int("size", 0, "target size in bytes (0 = natural size)")
-		levels  = flag.Int("levels", 10, "maximum nesting depth")
-		repeat  = flag.Float64("repeat", 1, "mean extra repetitions for *,+ particles")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "output directory (empty = stdout)")
+		dtdName = fs.String("dtd", "psd", "DTD: 'nitf', 'psd', or a file path")
+		n       = fs.Int("n", 1, "number of documents")
+		size    = fs.Int("size", 0, "target size in bytes (0 = natural size)")
+		levels  = fs.Int("levels", 10, "maximum nesting depth")
+		repeat  = fs.Float64("repeat", 1, "mean extra repetitions for *,+ particles")
+		seed    = fs.Int64("seed", 1, "random seed")
+		outDir  = fs.String("out", "", "output directory (empty = stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
 
 	d, err := loadDTD(*dtdName)
 	if err != nil {
-		log.Fatalf("xmlgen: %v", err)
+		return err
 	}
 	g := gen.NewDocGenerator(d, *seed)
 	g.MaxLevels = *levels
@@ -43,20 +61,21 @@ func main() {
 		if *size > 0 {
 			doc, err = g.GenerateSized(*size)
 			if err != nil {
-				log.Fatalf("xmlgen: %v", err)
+				return err
 			}
 		}
 		data := doc.Marshal()
-		if *out == "" {
-			fmt.Printf("%s\n", data)
+		if *outDir == "" {
+			fmt.Fprintf(out, "%s\n", data)
 			continue
 		}
-		name := filepath.Join(*out, fmt.Sprintf("%s-%03d.xml", *dtdName, i))
+		name := filepath.Join(*outDir, fmt.Sprintf("%s-%03d.xml", *dtdName, i))
 		if err := os.WriteFile(name, data, 0o644); err != nil {
-			log.Fatalf("xmlgen: %v", err)
+			return err
 		}
-		log.Printf("wrote %s (%d bytes, %d paths)", name, len(data), len(doc.Paths()))
+		fmt.Fprintf(out, "wrote %s (%d bytes, %d paths)\n", name, len(data), len(doc.Paths()))
 	}
+	return nil
 }
 
 func loadDTD(name string) (*dtd.DTD, error) {

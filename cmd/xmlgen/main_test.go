@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+// TestRunStdout generates documents to the output writer and checks they are
+// well-formed XML with the requested DTD's root.
+func TestRunStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dtd", "nitf", "-n", "2", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	docs := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(docs) != 2 {
+		t.Fatalf("got %d documents, want 2:\n%s", len(docs), out.String())
+	}
+	for i, s := range docs {
+		doc, err := xmldoc.Parse([]byte(s))
+		if err != nil {
+			t.Fatalf("document %d does not parse: %v\n%s", i, err, s)
+		}
+		if doc.Root.Name != "nitf" {
+			t.Errorf("document %d root = %q, want nitf", i, doc.Root.Name)
+		}
+	}
+}
+
+// TestRunOutDir writes documents into a directory.
+func TestRunOutDir(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-dtd", "psd", "-n", "3", "-out", dir}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "psd-*.xml"))
+	if err != nil || len(files) != 3 {
+		t.Fatalf("wrote %d files (%v), want 3", len(files), err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xmldoc.Parse(data); err != nil {
+		t.Errorf("%s does not parse: %v", files[0], err)
+	}
+	if !strings.Contains(out.String(), "wrote ") {
+		t.Errorf("missing progress output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dtd", "no-such-file.dtd"},
+		{"-bogus"},
+		{"stray-arg"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}

@@ -7,7 +7,8 @@ package main
 import (
 	"bufio"
 	"flag"
-	"log"
+	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/dtd"
@@ -16,21 +17,39 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "xpathgen: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run executes one xpathgen invocation, writing one expression per line to
+// out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xpathgen", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		dtdName = flag.String("dtd", "nitf", "DTD: 'nitf', 'psd', or a file path")
-		n       = flag.Int("n", 1000, "number of distinct expressions")
-		w       = flag.Float64("w", 0.2, "wildcard probability per step")
-		do      = flag.Float64("do", 0.1, "descendant-operator probability per step")
-		maxLen  = flag.Int("maxlen", 10, "maximum expression length")
-		minLen  = flag.Int("minlen", 1, "minimum expression length")
-		rel     = flag.Float64("rel", 0, "relative-expression probability")
-		seed    = flag.Int64("seed", 1, "random seed")
+		dtdName = fs.String("dtd", "nitf", "DTD: 'nitf', 'psd', or a file path")
+		n       = fs.Int("n", 1000, "number of distinct expressions")
+		w       = fs.Float64("w", 0.2, "wildcard probability per step")
+		do      = fs.Float64("do", 0.1, "descendant-operator probability per step")
+		maxLen  = fs.Int("maxlen", 10, "maximum expression length")
+		minLen  = fs.Int("minlen", 1, "minimum expression length")
+		rel     = fs.Float64("rel", 0, "relative-expression probability")
+		seed    = fs.Int64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
 
 	d, err := loadDTD(*dtdName)
 	if err != nil {
-		log.Fatalf("xpathgen: %v", err)
+		return err
 	}
 	g := gen.NewXPathGenerator(d, *w, *do, *seed)
 	g.MaxLen = *maxLen
@@ -38,15 +57,15 @@ func main() {
 	g.Relative = *rel
 	xs, err := g.GenerateDistinct(*n)
 	if err != nil {
-		log.Fatalf("xpathgen: %v", err)
+		return err
 	}
-	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
+	bw := bufio.NewWriter(out)
 	for _, x := range xs {
-		if _, err := out.WriteString(x.String() + "\n"); err != nil {
-			log.Fatalf("xpathgen: %v", err)
+		if _, err := bw.WriteString(x.String() + "\n"); err != nil {
+			return err
 		}
 	}
+	return bw.Flush()
 }
 
 func loadDTD(name string) (*dtd.DTD, error) {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+// TestRunEmitsParseableDistinctExpressions checks the generated workload
+// line-by-line: the requested count, every line re-parses, no duplicates.
+func TestRunEmitsParseableDistinctExpressions(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dtd", "nitf", "-n", "25", "-w", "0.3", "-seed", "5"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 25 {
+		t.Fatalf("got %d expressions, want 25", len(lines))
+	}
+	seen := make(map[string]bool)
+	for _, line := range lines {
+		x, err := xpath.Parse(line)
+		if err != nil {
+			t.Fatalf("line %q does not parse: %v", line, err)
+		}
+		if seen[x.Key()] {
+			t.Errorf("duplicate expression %q", line)
+		}
+		seen[x.Key()] = true
+	}
+}
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dtd", "no-such-file.dtd"},
+		{"-bogus"},
+		{"stray-arg"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}

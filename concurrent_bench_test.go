@@ -1,0 +1,69 @@
+package xmlrouter
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/dtddata"
+	"repro/internal/experiment"
+	"repro/internal/gen"
+	"repro/internal/xmldoc"
+)
+
+// BenchmarkConcurrentPublish measures the publication data plane of a single
+// broker under the Table 1 workload (a large covering-compacted NITF
+// subscription table, publications extracted from generated NITF documents).
+// The "serial" variant routes publications one at a time; the "parallel"
+// variant routes them from GOMAXPROCS goroutines through the broker's shared
+// (read) lock. On a multi-core host the parallel variant should scale close
+// to linearly with GOMAXPROCS, because publish takes only the RLock and the
+// matching traversal is read-only; run with -cpu=1,2,4 to see the curve.
+// EXPERIMENTS.md records measured numbers.
+func BenchmarkConcurrentPublish(b *testing.B) {
+	set, err := experiment.BuildCoveringSet(dtddata.NITF(), 6000, 0.9, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dg := gen.NewDocGenerator(dtddata.NITF(), 6)
+	dg.AvgRepeat = 1.5
+	var pubs []xmldoc.Publication
+	for i := 0; i < 200; i++ {
+		doc := dg.Generate()
+		pubs = append(pubs, xmldoc.Extract(doc, uint64(i))...)
+	}
+
+	// The send sink must be callable from many publishing goroutines at
+	// once (the broker invokes it under the shared lock).
+	var delivered atomic.Int64
+	newBroker := func() *broker.Broker {
+		br := broker.New(broker.Config{ID: "b1", UseCovering: true}, func(to string, m *broker.Message) {
+			delivered.Add(1)
+		})
+		br.AddClient("sub")
+		for _, x := range set.XPEs {
+			br.HandleMessage(&broker.Message{Type: broker.MsgSubscribe, XPE: x}, "sub")
+		}
+		return br
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		br := newBroker()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			br.HandleMessage(&broker.Message{Type: broker.MsgPublish, Pub: pubs[i%len(pubs)]}, "producer")
+		}
+	})
+
+	b.Run("parallel", func(b *testing.B) {
+		br := newBroker()
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(next.Add(1)-1) % len(pubs)
+				br.HandleMessage(&broker.Message{Type: broker.MsgPublish, Pub: pubs[i]}, "producer")
+			}
+		})
+	})
+}

@@ -2,6 +2,8 @@ package broker
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/advert"
 	"repro/internal/cover"
@@ -56,12 +58,39 @@ type Stats struct {
 	Mergers        int64 // subscription mergers applied by the periodic pass
 }
 
-// Broker is one content-based XML router. It is not safe for concurrent use;
-// each transport serialises HandleMessage calls (the simulator is single-
-// threaded, the TCP transport locks around the broker).
+// counters is the broker's internal, lock-free statistics representation.
+// Publications are counted on the shared-lock hot path from many goroutines
+// at once, so every counter is an atomic; message-type counters are fixed
+// arrays indexed by MsgType (small and dense) rather than maps.
+type counters struct {
+	msgsIn         [msgTypeCount]atomic.Int64
+	msgsOut        [msgTypeCount]atomic.Int64
+	deliveries     atomic.Int64
+	falsePositives atomic.Int64
+	mergers        atomic.Int64
+}
+
+// msgTypeCount bounds the MsgType enum for array-indexed counters.
+const msgTypeCount = int(MsgPublish) + 1
+
+// Broker is one content-based XML router, safe for concurrent use.
+//
+// Concurrency model: broker state splits into a control plane and a data
+// plane. Control messages (advertise, unadvertise, subscribe, unsubscribe,
+// and the merge pass they trigger) mutate the SRT and PRT and run under the
+// exclusive lock; publish — the hot path — only reads the routing tables
+// (subtree.MatchPath* are read-only, see that package's docs) and runs under
+// the shared lock, so any number of publications are matched in parallel.
+// Counters are atomics and never require the lock. The send callback is
+// invoked while the lock is held (shared for publish); it must not call back
+// into the broker.
 type Broker struct {
 	cfg  Config
 	send func(to string, m *Message)
+
+	// mu orders the two planes: exclusive for control messages, shared for
+	// publish and read accessors.
+	mu sync.RWMutex
 
 	neighbors []string        // broker peers
 	clients   map[string]bool // client peers
@@ -78,7 +107,7 @@ type Broker struct {
 	clientSubs map[string]*subtree.Tree
 
 	sinceMerge int
-	stats      Stats
+	stats      counters
 }
 
 type advEntry struct {
@@ -121,70 +150,97 @@ func (b *Broker) ID() string { return b.cfg.ID }
 
 // AddNeighbor registers a neighbouring broker.
 func (b *Broker) AddNeighbor(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.neighbors = append(b.neighbors, id)
 	sort.Strings(b.neighbors)
 }
 
 // AddClient registers a directly connected client.
 func (b *Broker) AddClient(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.clients[id] = true
 	if b.clientSubs[id] == nil {
 		b.clientSubs[id] = subtree.New()
 	}
 }
 
-// Stats returns a copy of the broker's counters.
+// Stats returns a snapshot of the broker's counters. It never blocks on the
+// broker lock: counters are atomics.
 func (b *Broker) Stats() Stats {
 	out := Stats{
-		MsgsIn:         make(map[MsgType]int64, len(b.stats.MsgsIn)),
-		MsgsOut:        make(map[MsgType]int64, len(b.stats.MsgsOut)),
-		Deliveries:     b.stats.Deliveries,
-		FalsePositives: b.stats.FalsePositives,
-		Mergers:        b.stats.Mergers,
+		MsgsIn:         make(map[MsgType]int64),
+		MsgsOut:        make(map[MsgType]int64),
+		Deliveries:     b.stats.deliveries.Load(),
+		FalsePositives: b.stats.falsePositives.Load(),
+		Mergers:        b.stats.mergers.Load(),
 	}
-	for k, v := range b.stats.MsgsIn {
-		out.MsgsIn[k] = v
-	}
-	for k, v := range b.stats.MsgsOut {
-		out.MsgsOut[k] = v
+	for t := 1; t < msgTypeCount; t++ {
+		if v := b.stats.msgsIn[t].Load(); v != 0 {
+			out.MsgsIn[MsgType(t)] = v
+		}
+		if v := b.stats.msgsOut[t].Load(); v != 0 {
+			out.MsgsOut[MsgType(t)] = v
+		}
 	}
 	return out
 }
 
 // PRTSize returns the number of subscriptions stored in the PRT.
-func (b *Broker) PRTSize() int { return b.prt.Size() }
+func (b *Broker) PRTSize() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.prt.Size()
+}
 
 // SRTSize returns the number of advertisements stored in the SRT.
-func (b *Broker) SRTSize() int { return len(b.srt) }
+func (b *Broker) SRTSize() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.srt)
+}
 
-// PRT exposes the subscription tree for experiments and tests.
+// PRT exposes the subscription tree for experiments and tests. The caller
+// must not use it concurrently with message handling.
 func (b *Broker) PRT() *subtree.Tree { return b.prt }
 
-// HandleMessage processes one incoming message from peer `from`.
+// HandleMessage processes one incoming message from peer `from`. It is safe
+// for concurrent use: control messages serialise on the exclusive lock while
+// publications from different peers are matched in parallel under the shared
+// lock.
 func (b *Broker) HandleMessage(m *Message, from string) {
-	if b.stats.MsgsIn == nil {
-		b.stats.MsgsIn = make(map[MsgType]int64)
+	if int(m.Type) < msgTypeCount {
+		b.stats.msgsIn[m.Type].Add(1)
 	}
-	b.stats.MsgsIn[m.Type]++
 	switch m.Type {
+	case MsgPublish:
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+		b.handlePublish(m, from)
 	case MsgAdvertise:
+		b.mu.Lock()
+		defer b.mu.Unlock()
 		b.handleAdvertise(m, from)
 	case MsgUnadvertise:
+		b.mu.Lock()
+		defer b.mu.Unlock()
 		b.handleUnadvertise(m, from)
 	case MsgSubscribe:
+		b.mu.Lock()
+		defer b.mu.Unlock()
 		b.handleSubscribe(m, from)
 	case MsgUnsubscribe:
+		b.mu.Lock()
+		defer b.mu.Unlock()
 		b.handleUnsubscribe(m, from)
-	case MsgPublish:
-		b.handlePublish(m, from)
 	}
 }
 
 func (b *Broker) emit(to string, m *Message) {
-	if b.stats.MsgsOut == nil {
-		b.stats.MsgsOut = make(map[MsgType]int64)
+	if int(m.Type) < msgTypeCount {
+		b.stats.msgsOut[m.Type].Add(1)
 	}
-	b.stats.MsgsOut[m.Type]++
 	b.send(to, m)
 }
 
@@ -431,7 +487,7 @@ func (b *Broker) runMergePass() {
 		MaxDegree: maxDegree,
 		Estimator: b.cfg.Estimator,
 		OnMerge: func(m *merge.Merger, sources []*subtree.Node, mergerNode *subtree.Node) {
-			b.stats.Mergers++
+			b.stats.mergers.Add(1)
 			st := stateOf(mergerNode)
 			if st == nil {
 				st = &subState{lastHops: make(map[string]bool), forwardedTo: make(map[string]bool), merger: true}
@@ -477,6 +533,10 @@ func (b *Broker) runMergePass() {
 
 // --- publications ---
 
+// handlePublish matches one publication and forwards it. It runs under the
+// SHARED lock and therefore must not mutate any broker state: it only reads
+// the PRT (via the read-only MatchPathAttrs traversal), the client set, and
+// the per-client filter trees, and bumps atomic counters.
 func (b *Broker) handlePublish(m *Message, from string) {
 	paths := [][]string{m.Pub.Path}
 	attrs := [][]map[string]string{m.Pub.Attrs}
@@ -509,10 +569,10 @@ func (b *Broker) handlePublish(m *Message, from string) {
 			// Edge filtering: imperfect mergers must not leak false
 			// positives to clients.
 			if !b.matchesClient(hop, paths, attrs) {
-				b.stats.FalsePositives++
+				b.stats.falsePositives.Add(1)
 				continue
 			}
-			b.stats.Deliveries++
+			b.stats.deliveries.Add(1)
 		}
 		b.emit(hop, m)
 	}

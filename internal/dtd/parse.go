@@ -104,6 +104,10 @@ func expandParameterEntities(text string) (string, error) {
 	if len(entities) == 0 {
 		return text, nil
 	}
+	// maxExpandedSize caps the expanded text: entity values referencing other
+	// entities can multiply the size each round ("billion laughs"), and the
+	// depth bound alone does not prevent the memory blowup.
+	const maxExpandedSize = 1 << 22
 	out := text
 	for depth := 0; strings.Contains(out, "%"); depth++ {
 		if depth > 32 {
@@ -115,6 +119,9 @@ func expandParameterEntities(text string) (string, error) {
 			if strings.Contains(out, ref) {
 				out = strings.ReplaceAll(out, ref, val)
 				changed = true
+			}
+			if len(out) > maxExpandedSize {
+				return "", fmt.Errorf("dtd: parameter entity expansion exceeds %d bytes", maxExpandedSize)
 			}
 		}
 		if !changed {
@@ -186,15 +193,23 @@ func parseContentSpec(s *scanner) (ContentKind, *Particle, []string, error) {
 		}
 	}
 	s.pos = save
-	p, err := parseGroup(s)
+	p, err := parseGroup(s, 0)
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	return ChildrenContent, p, nil, nil
 }
 
+// maxGroupDepth bounds content-model nesting: the parser recurses per group
+// and an adversarial "((((..." input must fail cleanly instead of
+// overflowing the goroutine stack. Real DTDs nest a handful of levels.
+const maxGroupDepth = 100
+
 // parseGroup parses "(cp (sep cp)*) occ?" where sep is ',' or '|'.
-func parseGroup(s *scanner) (*Particle, error) {
+func parseGroup(s *scanner, depth int) (*Particle, error) {
+	if depth > maxGroupDepth {
+		return nil, s.errorf("content model nested deeper than %d groups", maxGroupDepth)
+	}
 	if !s.consume("(") {
 		return nil, s.errorf("expected '('")
 	}
@@ -203,7 +218,7 @@ func parseGroup(s *scanner) (*Particle, error) {
 	first := true
 	for {
 		s.skipSpace()
-		cp, err := parseCP(s)
+		cp, err := parseCP(s, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -232,9 +247,9 @@ func parseGroup(s *scanner) (*Particle, error) {
 
 // parseCP parses a content particle: a name or a nested group, with an
 // optional occurrence modifier.
-func parseCP(s *scanner) (*Particle, error) {
+func parseCP(s *scanner, depth int) (*Particle, error) {
 	if s.peekByte() == '(' {
-		return parseGroup(s)
+		return parseGroup(s, depth)
 	}
 	n, err := s.name()
 	if err != nil {

@@ -26,6 +26,43 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is a concurrency-safe instantaneous value that also tracks its
+// high-water mark. The zero value is ready to use. It is implemented with
+// atomics only — Add on the hot path never takes a lock.
+type Gauge struct {
+	v    atomic.Int64
+	high atomic.Int64
+}
+
+// Add moves the gauge by d (which may be negative) and returns the new
+// value, updating the high-water mark.
+func (g *Gauge) Add(d int64) int64 {
+	v := g.v.Add(d)
+	for {
+		h := g.high.Load()
+		if v <= h || g.high.CompareAndSwap(h, v) {
+			return v
+		}
+	}
+}
+
+// Set forces the gauge to v, updating the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		h := g.high.Load()
+		if v <= h || g.high.CompareAndSwap(h, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// High returns the largest value the gauge has held.
+func (g *Gauge) High() int64 { return g.high.Load() }
+
 // Summary accumulates float64 samples and reports order statistics. The
 // zero value is ready to use; methods are safe for concurrent use.
 type Summary struct {

@@ -26,6 +26,52 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Load() != 0 || g.High() != 0 {
+		t.Error("zero gauge should report zeros")
+	}
+	g.Add(3)
+	g.Add(2)
+	g.Add(-4)
+	if got := g.Load(); got != 1 {
+		t.Errorf("Load = %d, want 1", got)
+	}
+	if got := g.High(); got != 5 {
+		t.Errorf("High = %d, want 5", got)
+	}
+	g.Set(10)
+	if g.Load() != 10 || g.High() != 10 {
+		t.Errorf("after Set: Load=%d High=%d", g.Load(), g.High())
+	}
+	g.Set(2)
+	if g.Load() != 2 || g.High() != 10 {
+		t.Errorf("Set must not lower the high-water mark: Load=%d High=%d", g.Load(), g.High())
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 0 {
+		t.Errorf("Load = %d, want 0", got)
+	}
+	if high := g.High(); high < 1 || high > 8 {
+		t.Errorf("High = %d, want within [1,8]", high)
+	}
+}
+
 func TestSummaryStats(t *testing.T) {
 	var s Summary
 	if s.Mean() != 0 || s.Quantile(0.5) != 0 || s.Min() != 0 || s.Max() != 0 {

@@ -15,6 +15,27 @@
 //     covering-based pruning: once a node fails to match, its entire
 //     subtree is skipped, because a publication outside P(parent) cannot be
 //     in P(child) ⊆ P(parent).
+//
+// # Concurrency
+//
+// A Tree is not internally synchronised, but its operations divide into two
+// classes with a guaranteed contract:
+//
+//   - READ-ONLY: MatchPath, MatchPathAttrs, MatchPathAny, MatchPathAnyAttrs,
+//     Lookup, Size, Depth, Walk, TopLevel, Coverers, CoveredBy, IsCovered,
+//     IsCoveredBesides, String, and the Node accessors. These never mutate
+//     the tree (they may not even write transient scratch state into it) and
+//     are safe to run concurrently with each other. The broker's publication
+//     hot path depends on this invariant to match publications in parallel
+//     under a shared lock; changing any of these to mutate the tree is a
+//     breaking change and must be flagged in review. A race-detector test
+//     (TestMatchIsReadOnlyUnderRace) enforces the invariant.
+//
+//   - MUTATING: Insert, FlatInsert, Remove, and writes through Node.Data.
+//     These require exclusive access relative to every other operation.
+//
+// Visit callbacks run while the traversal holds no lock of its own; callers
+// coordinating concurrent readers must not mutate from inside a callback.
 package subtree
 
 import (
@@ -277,7 +298,9 @@ func removeNode(s []*Node, n *Node) []*Node {
 }
 
 // MatchPath invokes visit for every stored subscription matching the
-// publication path, pruning subtrees whose root fails to match.
+// publication path, pruning subtrees whose root fails to match. It is
+// read-only and safe for concurrent use with other readers (see the package
+// comment).
 func (t *Tree) MatchPath(path []string, visit func(*Node)) {
 	var walk func(n *Node)
 	walk = func(n *Node) {
@@ -297,7 +320,8 @@ func (t *Tree) MatchPath(path []string, visit func(*Node)) {
 // MatchPathAttrs is MatchPath with attribute predicates evaluated against
 // the publication's per-element attributes. Pruning stays sound because the
 // tree's covering order is predicate-aware: a parent admits every
-// publication its children admit.
+// publication its children admit. Like MatchPath it is read-only and safe
+// for concurrent use with other readers.
 func (t *Tree) MatchPathAttrs(path []string, attrs []map[string]string, visit func(*Node)) {
 	var walk func(n *Node)
 	walk = func(n *Node) {

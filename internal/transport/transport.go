@@ -6,17 +6,31 @@
 // The discrete-event simulator (package sim) is the tool for controlled
 // experiments; this package is the deployable counterpart with identical
 // broker semantics.
+//
+// Concurrency: the server no longer serialises all broker handling behind
+// one mutex. The broker itself orders its two planes (control messages
+// exclusive, publications shared — see package broker); on top of that the
+// server runs a bounded worker pool that matches publications from
+// concurrent client connections in parallel. Publications are dispatched to
+// a worker chosen by the source peer's ID, so the publications of one
+// connection are processed in arrival order while different connections
+// spread across workers. Outbound messages fan in to one ordered send queue
+// per peer connection, drained by a single writer goroutine, so each peer
+// observes deliveries in enqueue order.
 package transport
 
 import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/metrics"
 )
 
 // hello is the first frame on every connection.
@@ -24,17 +38,71 @@ type hello struct {
 	ID string
 }
 
-// peerConn is one live connection with its write lock.
+// sendQueueDepth bounds each peer's outbound queue. A full queue blocks the
+// matching worker (backpressure toward the producer) rather than growing
+// without bound.
+const sendQueueDepth = 256
+
+// peerConn is one live connection with its ordered send queue. All writes
+// funnel through the queue and are encoded by a single writer goroutine, so
+// messages reach the peer in enqueue order without a per-write lock. The
+// queue channel itself is never closed (many goroutines may be sending);
+// the writer is stopped via the stop channel and announces its exit on done.
 type peerConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	mu   sync.Mutex
+	conn  net.Conn
+	queue chan *broker.Message
+	stop  chan struct{} // signalled by shutdown
+	done  chan struct{} // closed when the writer exits
+	once  sync.Once
 }
 
+func newPeerConn(conn net.Conn, enc *gob.Encoder) *peerConn {
+	p := &peerConn{
+		conn:  conn,
+		queue: make(chan *broker.Message, sendQueueDepth),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(p.done)
+		for {
+			select {
+			case <-p.stop:
+				return
+			case m := <-p.queue:
+				if err := enc.Encode(m); err != nil {
+					p.conn.Close() // unblocks the connection's read loop
+					return
+				}
+			}
+		}
+	}()
+	return p
+}
+
+// write enqueues a message for the peer. It reports an error when the
+// writer has already shut down (encode failure or connection close).
 func (p *peerConn) write(m *broker.Message) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.enc.Encode(m)
+	select {
+	case <-p.done:
+		return errors.New("transport: peer writer closed")
+	case <-p.stop:
+		return errors.New("transport: peer shutting down")
+	case p.queue <- m:
+		return nil
+	}
+}
+
+// shutdown closes the connection and stops the writer goroutine.
+func (p *peerConn) shutdown() {
+	p.once.Do(func() { close(p.stop) })
+	p.conn.Close()
+}
+
+// pubTask is one publication awaiting matching, tagged with its source.
+type pubTask struct {
+	m    *broker.Message
+	from string
 }
 
 // Server hosts one broker behind a TCP listener.
@@ -42,10 +110,17 @@ type Server struct {
 	cfg       broker.Config
 	neighbors map[string]string // broker ID -> address
 
-	mu    sync.Mutex // serialises broker handling
 	b     *broker.Broker
 	ln    net.Listener
 	peers sync.Map // peer ID -> *peerConn
+
+	// pubQueues feeds the matching worker pool; queue index is chosen by
+	// hashing the source peer ID, preserving per-connection order.
+	pubQueues []chan pubTask
+
+	// InFlight gauges publications currently queued or being matched; its
+	// high-water mark shows how deep the pool has been driven.
+	InFlight metrics.Gauge
 
 	closed  chan struct{}
 	closeMu sync.Once
@@ -54,55 +129,58 @@ type Server struct {
 
 // NewServer creates a broker server. neighbors maps neighbouring broker IDs
 // to their TCP addresses; they are registered as overlay links immediately
-// and dialled lazily.
+// and dialled lazily. workers sizes the publication-matching pool; 0 means
+// GOMAXPROCS.
 func NewServer(cfg broker.Config, neighbors map[string]string) *Server {
+	return NewServerWorkers(cfg, neighbors, 0)
+}
+
+// NewServerWorkers is NewServer with an explicit worker-pool size.
+func NewServerWorkers(cfg broker.Config, neighbors map[string]string, workers int) *Server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	s := &Server{
 		cfg:       cfg,
 		neighbors: neighbors,
 		closed:    make(chan struct{}),
+		pubQueues: make([]chan pubTask, workers),
 	}
 	s.b = broker.New(cfg, s.send)
 	for id := range neighbors {
 		s.b.AddNeighbor(id)
 	}
+	for i := range s.pubQueues {
+		s.pubQueues[i] = make(chan pubTask, sendQueueDepth)
+	}
 	return s
 }
 
-// Broker exposes the underlying router for configuration before Listen;
-// once the server is running, use the locked accessors below.
+// Broker exposes the underlying router for configuration before Listen. The
+// broker is itself safe for concurrent use once the server is running.
 func (s *Server) Broker() *broker.Broker { return s.b }
 
-// PRTSize returns the broker's subscription-table size under the server
-// lock.
-func (s *Server) PRTSize() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.b.PRTSize()
-}
+// PRTSize returns the broker's subscription-table size.
+func (s *Server) PRTSize() int { return s.b.PRTSize() }
 
-// SRTSize returns the broker's advertisement-table size under the server
-// lock.
-func (s *Server) SRTSize() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.b.SRTSize()
-}
+// SRTSize returns the broker's advertisement-table size.
+func (s *Server) SRTSize() int { return s.b.SRTSize() }
 
-// Stats returns the broker's counters under the server lock.
-func (s *Server) Stats() broker.Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.b.Stats()
-}
+// Stats returns the broker's counters.
+func (s *Server) Stats() broker.Stats { return s.b.Stats() }
 
-// Listen binds the server to addr (use "127.0.0.1:0" for tests) and starts
-// the accept loop. It returns the bound address.
+// Listen binds the server to addr (use "127.0.0.1:0" for tests), starts the
+// matching worker pool and the accept loop. It returns the bound address.
 func (s *Server) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	s.ln = ln
+	for _, q := range s.pubQueues {
+		s.wg.Add(1)
+		go s.matchLoop(q)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return ln.Addr().String(), nil
@@ -115,10 +193,37 @@ func (s *Server) Close() {
 		s.ln.Close()
 	}
 	s.peers.Range(func(_, v any) bool {
-		v.(*peerConn).conn.Close()
+		v.(*peerConn).shutdown()
 		return true
 	})
 	s.wg.Wait()
+}
+
+// matchLoop is one worker of the publication-matching pool.
+func (s *Server) matchLoop(q chan pubTask) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case t := <-q:
+			s.b.HandleMessage(t.m, t.from)
+			s.InFlight.Add(-1)
+		}
+	}
+}
+
+// dispatchPublish hands a publication to the worker owning the source peer.
+func (s *Server) dispatchPublish(m *broker.Message, from string) {
+	h := fnv.New32a()
+	h.Write([]byte(from))
+	q := s.pubQueues[int(h.Sum32())%len(s.pubQueues)]
+	s.InFlight.Add(1)
+	select {
+	case <-s.closed:
+		s.InFlight.Add(-1)
+	case q <- pubTask{m: m, from: from}:
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -154,30 +259,52 @@ func (s *Server) serveConn(conn net.Conn, expectID string) {
 	if expectID != "" && id != expectID {
 		return // neighbour misconfiguration
 	}
-	pc := &peerConn{conn: conn, enc: enc}
+	pc := newPeerConn(conn, enc)
 	s.peers.Store(id, pc)
-	defer s.peers.Delete(id)
+	defer s.dropPeer(id, pc)
 	if _, isNeighbor := s.neighbors[id]; !isNeighbor {
-		s.mu.Lock()
 		s.b.AddClient(id)
-		s.mu.Unlock()
 	}
+	s.readLoop(dec, id)
+}
+
+// readLoop decodes frames from one connection. Control messages are handled
+// inline (the broker serialises them on its exclusive lock), so a peer's
+// subscribe is fully applied before its next frame is read; publications go
+// to the worker pool. Ordering guarantee per connection: control messages
+// stay ordered among themselves and publications among themselves; a
+// control message may only overtake this connection's own still-queued
+// publications (concurrent by design — see DESIGN.md "Concurrency model").
+func (s *Server) readLoop(dec *gob.Decoder, id string) {
 	for {
 		var m broker.Message
 		if err := dec.Decode(&m); err != nil {
 			return
 		}
-		s.mu.Lock()
+		if m.Type == broker.MsgPublish {
+			s.dispatchPublish(&m, id)
+			continue
+		}
 		s.b.HandleMessage(&m, id)
-		s.mu.Unlock()
 	}
 }
 
-// send delivers a message to a peer, dialling neighbours on demand.
+// dropPeer removes a peer mapping if it still refers to this connection.
+func (s *Server) dropPeer(id string, pc *peerConn) {
+	if cur, ok := s.peers.Load(id); ok && cur == pc {
+		s.peers.Delete(id)
+	}
+	pc.shutdown()
+}
+
+// send delivers a message to a peer, dialling neighbours on demand. It is
+// called by the broker with its lock held (shared for publications), so it
+// must not call back into the broker; enqueueing on the peer's send queue
+// is all it does.
 func (s *Server) send(to string, m *broker.Message) {
 	if pc, ok := s.peers.Load(to); ok {
 		if err := pc.(*peerConn).write(m); err != nil {
-			s.peers.Delete(to)
+			s.dropPeer(to, pc.(*peerConn))
 		}
 		return
 	}
@@ -190,7 +317,7 @@ func (s *Server) send(to string, m *broker.Message) {
 		return
 	}
 	if err := pc.write(m); err != nil {
-		s.peers.Delete(to)
+		s.dropPeer(to, pc)
 	}
 }
 
@@ -204,24 +331,16 @@ func (s *Server) dial(id, addr string) (*peerConn, error) {
 		conn.Close()
 		return nil, fmt.Errorf("transport: hello to %s: %w", id, err)
 	}
-	pc := &peerConn{conn: conn, enc: enc}
+	pc := newPeerConn(conn, enc)
 	s.peers.Store(id, pc)
 	// The dialled neighbour may speak back on the same connection.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer conn.Close()
-		defer s.peers.Delete(id)
+		defer s.dropPeer(id, pc)
 		dec := gob.NewDecoder(conn)
-		for {
-			var m broker.Message
-			if err := dec.Decode(&m); err != nil {
-				return
-			}
-			s.mu.Lock()
-			s.b.HandleMessage(&m, id)
-			s.mu.Unlock()
-		}
+		s.readLoop(dec, id)
 	}()
 	return pc, nil
 }

@@ -19,8 +19,15 @@ type Pred struct {
 	Value string
 }
 
-// String renders the predicate in XPath syntax.
+// String renders the predicate in XPath syntax. The value is single-quoted
+// unless it contains a single quote, in which case double quotes are used —
+// a parsed value never contains its own quote character, so rendering a
+// parsed predicate always round-trips. (A hand-built Pred whose value holds
+// BOTH quote characters is not expressible in the syntax at all.)
 func (p Pred) String() string {
+	if strings.Contains(p.Value, "'") {
+		return "[@" + p.Attr + "=\"" + p.Value + "\"]"
+	}
 	return "[@" + p.Attr + "='" + p.Value + "']"
 }
 

@@ -223,9 +223,11 @@ func Parse(input string) (*XPE, error) {
 		if strings.HasPrefix(input[i:], "//") {
 			axis = Descendant
 			i += 2
-		} else {
+		} else if input[i] == '/' {
 			axis = Child
 			i++
+		} else {
+			return nil, fmt.Errorf("xpath: %q: expected '/' at offset %d", input, i)
 		}
 		if i == len(input) {
 			return nil, fmt.Errorf("xpath: %q: trailing operator", input)
