@@ -3,11 +3,14 @@
 //
 // Example 3-broker chain on one machine:
 //
-//	xbroker -id b1 -listen :7001 -neighbors b2=localhost:7002
-//	xbroker -id b2 -listen :7002 -neighbors b1=localhost:7001,b3=localhost:7003
-//	xbroker -id b3 -listen :7003 -neighbors b2=localhost:7002
+//	xbroker -id b1 -listen :7001 -admin 127.0.0.1:9001 -neighbors b2=localhost:7002
+//	xbroker -id b2 -listen :7002 -admin 127.0.0.1:9002 -neighbors b1=localhost:7001,b3=localhost:7003
+//	xbroker -id b3 -listen :7003 -admin 127.0.0.1:9003 -neighbors b2=localhost:7002
 //
-// Strategy flags select the paper's routing optimisations.
+// Strategy flags select the paper's routing optimisations. The opt-in
+// admin listener serves /metrics (Prometheus), /debug/traces (per-hop
+// publication traces), /debug/routes (routing-table dump), and
+// /debug/pprof; it is unauthenticated, so bind it to localhost.
 package main
 
 import (
@@ -20,7 +23,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admin"
 	"repro/internal/broker"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -28,12 +34,14 @@ func main() {
 	var (
 		id        = flag.String("id", "b1", "broker identifier")
 		listen    = flag.String("listen", ":7001", "TCP listen address")
+		adminAddr = flag.String("admin", "", "admin HTTP address for /metrics, /debug/traces, /debug/routes, /debug/pprof (empty disables; unauthenticated — bind localhost)")
 		neighbors = flag.String("neighbors", "", "comma-separated id=addr neighbour list")
 		useAdv    = flag.Bool("adv", true, "advertisement-based subscription routing")
 		useCov    = flag.Bool("cov", true, "covering-based table compaction")
 		merging   = flag.String("merge", "off", "merging mode: off|perfect|imperfect")
 		degree    = flag.Float64("degree", 0.1, "imperfect-merging degree tolerance")
 		statsEach = flag.Duration("stats", 30*time.Second, "stats logging interval (0 disables)")
+		traceBuf  = flag.Int("tracebuf", 1024, "trace events retained in the in-memory ring")
 	)
 	flag.Parse()
 
@@ -41,11 +49,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("xbroker: %v", err)
 	}
+	reg := metrics.NewRegistry()
+	ring := trace.NewRing(*traceBuf)
 	cfg := broker.Config{
 		ID:                *id,
 		UseAdvertisements: *useAdv,
 		UseCovering:       *useCov,
 		ImperfectDegree:   *degree,
+		Metrics:           reg,
+		TraceSink:         ring,
 	}
 	switch *merging {
 	case "off":
@@ -63,15 +75,23 @@ func main() {
 	if err != nil {
 		log.Fatalf("xbroker: %v", err)
 	}
-	log.Printf("broker %s listening on %s (%d neighbours, adv=%v cov=%v merge=%s)",
-		*id, addr, len(nb), *useAdv, *useCov, *merging)
+	log.Printf("broker %s listening on %s (%d neighbours, strategy %s)",
+		*id, addr, len(nb), cfg.StrategyName())
+
+	if *adminAddr != "" {
+		h := admin.Handler(reg, ring, func() any { return srv.Broker().Routes() })
+		bound, stopAdmin, err := admin.Serve(*adminAddr, h)
+		if err != nil {
+			log.Fatalf("xbroker: admin: %v", err)
+		}
+		defer stopAdmin()
+		log.Printf("admin endpoints on http://%s/metrics (unauthenticated — keep it private)", bound)
+	}
 
 	if *statsEach > 0 {
 		go func() {
 			for range time.Tick(*statsEach) {
-				st := srv.Stats()
-				log.Printf("stats: PRT=%d SRT=%d delivered=%d falsePositives=%d in=%v",
-					srv.PRTSize(), srv.SRTSize(), st.Deliveries, st.FalsePositives, st.MsgsIn)
+				log.Printf("stats %s", statsLine(reg))
 			}
 		}()
 	}
@@ -79,8 +99,17 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	// Flush a final snapshot so post-mortem logs carry the closing counts.
+	log.Printf("final stats %s", statsLine(reg))
 	log.Printf("broker %s shutting down", *id)
 	srv.Close()
+}
+
+// statsLine renders the registry as one key=value log line.
+func statsLine(reg *metrics.Registry) string {
+	var b strings.Builder
+	reg.WriteKeyValue(&b)
+	return b.String()
 }
 
 func parseNeighbors(spec string) (map[string]string, error) {

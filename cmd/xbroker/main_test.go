@@ -3,7 +3,22 @@ package main
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/metrics"
 )
+
+// TestStatsLine pins the structured key=value shape of the periodic stats
+// log (and the final SIGTERM snapshot, which uses the same renderer).
+func TestStatsLine(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("xbroker_deliveries_total", "").Add(12)
+	reg.Gauge("xbroker_prt_subscriptions", "").Set(3)
+	got := statsLine(reg)
+	want := "xbroker_deliveries_total=12 xbroker_prt_subscriptions=3"
+	if got != want {
+		t.Errorf("statsLine = %q, want %q", got, want)
+	}
+}
 
 func TestParseNeighbors(t *testing.T) {
 	tests := []struct {

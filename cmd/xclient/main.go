@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/advert"
 	"repro/internal/broker"
 	"repro/internal/dtd"
 	"repro/internal/dtddata"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
@@ -51,6 +53,7 @@ func run(args []string, out io.Writer) error {
 		publish      = fs.String("publish", "", "XML file to publish as a document")
 		advertiseDTD = fs.String("advertise-dtd", "", "DTD file (or 'nitf'/'psd') whose advertisements to flood")
 		wait         = fs.Duration("wait", 0, "how long to wait for deliveries (0 = forever)")
+		traced       = fs.Bool("trace", false, "stamp the publication with a trace ID for per-hop tracing (query /debug/traces on the brokers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,10 +95,15 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := c.Send(&broker.Message{Type: broker.MsgPublish, Doc: doc}); err != nil {
+		msg := &broker.Message{Type: broker.MsgPublish, Doc: doc}
+		if *traced {
+			msg.TraceID = trace.NewID()
+		}
+		if err := c.Send(msg); err != nil {
 			return fmt.Errorf("publish: %w", err)
 		}
-		fmt.Fprintf(out, "published %s (%d bytes, %d paths)\n", *publish, doc.Size(), len(doc.Paths()))
+		fmt.Fprintf(out, "published %s (%d bytes, %d paths)%s\n",
+			*publish, doc.Size(), len(doc.Paths()), traceNote(msg.TraceID))
 
 	case *subscribe != "":
 		x, err := xpath.Parse(*subscribe)
@@ -149,8 +157,27 @@ func printDelivery(out io.Writer, m *broker.Message) {
 		delay = fmt.Sprintf(" (delay %v)", time.Since(time.Unix(0, m.Stamp)).Round(time.Microsecond))
 	}
 	if m.Doc != nil {
-		fmt.Fprintf(out, "received document <%s> with %d paths%s\n", m.Doc.Root.Name, len(m.Doc.Paths()), delay)
+		fmt.Fprintf(out, "received document <%s> with %d paths%s%s\n", m.Doc.Root.Name, len(m.Doc.Paths()), delay, hopNote(m))
 		return
 	}
-	fmt.Fprintf(out, "received %s%s\n", m.Pub, delay)
+	fmt.Fprintf(out, "received %s%s%s\n", m.Pub, delay, hopNote(m))
+}
+
+// hopNote renders a traced delivery's broker path, e.g. " via b1>b2>b3".
+func hopNote(m *broker.Message) string {
+	if len(m.Hops) == 0 {
+		return ""
+	}
+	ids := make([]string, len(m.Hops))
+	for i, h := range m.Hops {
+		ids[i] = h.Broker
+	}
+	return " via " + strings.Join(ids, ">")
+}
+
+func traceNote(id string) string {
+	if id == "" {
+		return ""
+	}
+	return " trace=" + id
 }

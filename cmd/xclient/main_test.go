@@ -95,3 +95,42 @@ func TestRunRejectsBadInvocations(t *testing.T) {
 		}
 	}
 }
+
+// TestTracedPublishPrintsPath drives a traced publication through a single
+// broker and checks that both ends surface the trace: the publisher prints
+// the trace ID, the subscriber prints the broker path.
+func TestTracedPublishPrintsPath(t *testing.T) {
+	srv, addr := startBroker(t)
+
+	file := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(file, []byte("<a><b>hi</b></a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var subOut bytes.Buffer
+	subDone := make(chan error, 1)
+	go func() {
+		subDone <- run([]string{"-connect", addr, "-id", "sub1", "-subscribe", "/a", "-wait", "2s"}, &subOut)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.PRTSize() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never reached the broker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var pubOut bytes.Buffer
+	if err := run([]string{"-connect", addr, "-id", "pub1", "-publish", file, "-trace"}, &pubOut); err != nil {
+		t.Fatalf("publish run: %v", err)
+	}
+	if !strings.Contains(pubOut.String(), "trace=") {
+		t.Errorf("publisher output missing trace ID:\n%s", pubOut.String())
+	}
+	if err := <-subDone; err != nil {
+		t.Fatalf("subscribe run: %v", err)
+	}
+	if !strings.Contains(subOut.String(), "via b1") {
+		t.Errorf("subscriber output missing hop path:\n%s", subOut.String())
+	}
+}

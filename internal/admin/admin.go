@@ -1,0 +1,75 @@
+// Package admin serves a broker's observability endpoints over HTTP:
+//
+//	/metrics        Prometheus text exposition of the metrics registry
+//	/debug/traces   JSON dump of the per-hop publication trace ring
+//	                (?id=<trace-id> filters to one publication)
+//	/debug/routes   JSON snapshot of the SRT and PRT routing tables
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// SECURITY: the endpoints are unauthenticated and expose routing state and
+// profiling data; bind the admin listener to localhost (or a management
+// network) only — never to the broker's public address.
+package admin
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Handler builds the admin mux. Any of reg, ring, and routes may be nil;
+// the corresponding endpoint then responds 404. routes is called per
+// request and must be safe for concurrent use (the broker's Routes method
+// is).
+func Handler(reg *metrics.Registry, ring *trace.Ring, routes func() any) http.Handler {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+	}
+	if ring != nil {
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+			if id := r.URL.Query().Get("id"); id != "" {
+				writeJSON(w, ring.ByID(id))
+				return
+			}
+			writeJSON(w, ring.Snapshot())
+		})
+	}
+	if routes != nil {
+		mux.HandleFunc("/debug/routes", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, routes())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Serve binds addr and serves h in the background, returning the bound
+// address (useful with port 0) and a shutdown function.
+func Serve(addr string, h http.Handler) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -2,13 +2,17 @@ package broker
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/advert"
 	"repro/internal/cover"
 	"repro/internal/merge"
+	"repro/internal/metrics"
 	"repro/internal/subtree"
+	"repro/internal/trace"
 	"repro/internal/xpath"
 )
 
@@ -23,6 +27,20 @@ const (
 	// MergeImperfect applies mergers up to Config.ImperfectDegree.
 	MergeImperfect
 )
+
+// String names the merging mode for logs and metric labels.
+func (m MergingMode) String() string {
+	switch m {
+	case MergeOff:
+		return "off"
+	case MergePerfect:
+		return "perfect"
+	case MergeImperfect:
+		return "imperfect"
+	default:
+		return "unknown"
+	}
+}
 
 // Config selects the routing strategy, mirroring the paper's evaluated
 // combinations (no-Adv-no-Cov ... with-Adv-with-CovIPM).
@@ -47,6 +65,38 @@ type Config struct {
 	// MergeEvery runs a merge pass after this many new subscriptions
 	// (default 64).
 	MergeEvery int
+
+	// Metrics, when non-nil, receives the broker's instruments: the
+	// match-latency histogram (labelled by routing strategy) plus
+	// func-backed counters and gauges reading the broker's existing
+	// atomics and table sizes at exposition time, so the publish data
+	// plane gains no new contention. Nil disables instrumentation.
+	Metrics *metrics.Registry
+	// TraceSink, when non-nil, receives one trace.Event per traced
+	// publication crossing this broker (see Message.TraceID). Events are
+	// recorded after the routing lock is released.
+	TraceSink trace.Sink
+}
+
+// StrategyName renders the routing strategy compactly for metric labels,
+// mirroring the paper's strategy matrix: "adv+cov", "noadv+nocov",
+// "adv+cov+merge-imperfect", ...
+func (c Config) StrategyName() string {
+	parts := make([]string, 0, 3)
+	if c.UseAdvertisements {
+		parts = append(parts, "adv")
+	} else {
+		parts = append(parts, "noadv")
+	}
+	if c.UseCovering {
+		parts = append(parts, "cov")
+	} else {
+		parts = append(parts, "nocov")
+	}
+	if c.Merging != MergeOff {
+		parts = append(parts, "merge-"+c.Merging.String())
+	}
+	return strings.Join(parts, "+")
 }
 
 // Stats counts a broker's activity.
@@ -108,6 +158,10 @@ type Broker struct {
 
 	sinceMerge int
 	stats      counters
+
+	// matchSeconds is the pre-resolved match-latency histogram (nil when
+	// Config.Metrics is nil), so the hot path never touches the registry.
+	matchSeconds *metrics.Histogram
 }
 
 type advEntry struct {
@@ -135,7 +189,7 @@ func New(cfg Config, send func(to string, m *Message)) *Broker {
 	if cfg.MergeEvery <= 0 {
 		cfg.MergeEvery = 64
 	}
-	return &Broker{
+	b := &Broker{
 		cfg:        cfg,
 		send:       send,
 		clients:    make(map[string]bool),
@@ -143,6 +197,54 @@ func New(cfg Config, send func(to string, m *Message)) *Broker {
 		prt:        subtree.New(),
 		clientSubs: make(map[string]*subtree.Tree),
 	}
+	if cfg.Metrics != nil {
+		b.registerMetrics(cfg.Metrics)
+	}
+	return b
+}
+
+// registerMetrics publishes the broker's instruments. Counters and table
+// gauges are func-backed — they read the existing atomics and sizes at
+// exposition time — so only the match-latency histogram adds work (two
+// atomic adds) to the publish hot path.
+func (b *Broker) registerMetrics(reg *metrics.Registry) {
+	strategy := b.cfg.StrategyName()
+	b.matchSeconds = reg.Histogram("xbroker_match_seconds",
+		"Publication match latency in seconds, by routing strategy.",
+		metrics.DefBuckets, "strategy", strategy)
+	reg.CounterFunc("xbroker_deliveries_total",
+		"Publications handed to local clients.",
+		func() float64 { return float64(b.stats.deliveries.Load()) })
+	reg.CounterFunc("xbroker_false_positives_total",
+		"Publications suppressed by the edge client filter (imperfect-merging false positives).",
+		func() float64 { return float64(b.stats.falsePositives.Load()) })
+	reg.CounterFunc("xbroker_mergers_total",
+		"Subscription mergers applied by the periodic merge pass.",
+		func() float64 { return float64(b.stats.mergers.Load()) })
+	for t := 1; t < msgTypeCount; t++ {
+		t := MsgType(t)
+		reg.CounterFunc("xbroker_msgs_in_total",
+			"Messages received, by protocol type.",
+			func() float64 { return float64(b.stats.msgsIn[t].Load()) }, "type", t.String())
+		reg.CounterFunc("xbroker_msgs_out_total",
+			"Messages sent, by protocol type.",
+			func() float64 { return float64(b.stats.msgsOut[t].Load()) }, "type", t.String())
+	}
+	reg.GaugeFunc("xbroker_srt_advertisements",
+		"Advertisements stored in the subscription routing table.",
+		func() float64 { return float64(b.SRTSize()) })
+	reg.GaugeFunc("xbroker_prt_subscriptions",
+		"Subscriptions stored in the publication routing table.",
+		func() float64 { return float64(b.PRTSize()) })
+	reg.GaugeFunc("xbroker_prt_nodes",
+		"Nodes in the covering tree.",
+		func() float64 { return float64(b.PRTStats().Nodes) })
+	reg.GaugeFunc("xbroker_prt_edges",
+		"Parent-child (covering) edges in the covering tree.",
+		func() float64 { return float64(b.PRTStats().Edges) })
+	reg.GaugeFunc("xbroker_prt_super_edges",
+		"Super-pointer edges (cross-subtree covering relations) in the covering tree.",
+		func() float64 { return float64(b.PRTStats().SuperEdges) })
 }
 
 // ID returns the broker's identifier.
@@ -205,6 +307,94 @@ func (b *Broker) SRTSize() int {
 // must not use it concurrently with message handling.
 func (b *Broker) PRT() *subtree.Tree { return b.prt }
 
+// TreeStats describes the covering tree's shape.
+type TreeStats struct {
+	Nodes      int
+	Edges      int // parent-child (covering) edges
+	SuperEdges int // cross-subtree covering relations
+}
+
+// PRTStats measures the covering tree under the shared lock.
+func (b *Broker) PRTStats() TreeStats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n, e, s := b.prt.Stats()
+	return TreeStats{Nodes: n, Edges: e, SuperEdges: s}
+}
+
+// RouteTables is a JSON-serialisable snapshot of the broker's routing
+// state, served by the admin endpoint /debug/routes.
+type RouteTables struct {
+	Broker         string     `json:"broker"`
+	Strategy       string     `json:"strategy"`
+	Neighbors      []string   `json:"neighbors"`
+	Clients        []string   `json:"clients,omitempty"`
+	Advertisements []AdvRoute `json:"advertisements"`
+	Subscriptions  []SubRoute `json:"subscriptions"`
+}
+
+// AdvRoute is one SRT entry.
+type AdvRoute struct {
+	ID        string `json:"id"`
+	Expr      string `json:"expr"`
+	LastHop   string `json:"last_hop"`
+	Recursive bool   `json:"recursive,omitempty"`
+}
+
+// SubRoute is one PRT entry.
+type SubRoute struct {
+	XPE         string   `json:"xpe"`
+	LastHops    []string `json:"last_hops"`
+	ForwardedTo []string `json:"forwarded_to,omitempty"`
+	// Parent is the covering parent's expression ("" for top-level nodes).
+	Parent string `json:"parent,omitempty"`
+	Merger bool   `json:"merger,omitempty"`
+}
+
+// Routes snapshots both routing tables under the shared lock.
+func (b *Broker) Routes() RouteTables {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := RouteTables{
+		Broker:         b.cfg.ID,
+		Strategy:       b.cfg.StrategyName(),
+		Neighbors:      append([]string(nil), b.neighbors...),
+		Clients:        sortedKeys(b.clients),
+		Advertisements: make([]AdvRoute, 0, len(b.srt)),
+		Subscriptions:  make([]SubRoute, 0, b.prt.Size()),
+	}
+	for _, e := range b.srt {
+		out.Advertisements = append(out.Advertisements, AdvRoute{
+			ID:        e.id,
+			Expr:      e.adv.String(),
+			LastHop:   e.lastHop,
+			Recursive: e.adv.IsRecursive(),
+		})
+	}
+	b.prt.Walk(func(n *subtree.Node) {
+		sr := SubRoute{XPE: n.XPE.String()}
+		if p := n.Parent(); p != nil {
+			sr.Parent = p.XPE.String()
+		}
+		if st := stateOf(n); st != nil {
+			sr.LastHops = sortedKeys(st.lastHops)
+			sr.ForwardedTo = sortedKeys(st.forwardedTo)
+			sr.Merger = st.merger
+		}
+		out.Subscriptions = append(out.Subscriptions, sr)
+	})
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // HandleMessage processes one incoming message from peer `from`. It is safe
 // for concurrent use: control messages serialise on the exclusive lock while
 // publications from different peers are matched in parallel under the shared
@@ -216,8 +406,13 @@ func (b *Broker) HandleMessage(m *Message, from string) {
 	switch m.Type {
 	case MsgPublish:
 		b.mu.RLock()
-		defer b.mu.RUnlock()
-		b.handlePublish(m, from)
+		ev := b.handlePublish(m, from)
+		b.mu.RUnlock()
+		// Trace events are recorded after the routing lock is released, so
+		// the sink may lock freely without entering the broker's hierarchy.
+		if ev != nil && b.cfg.TraceSink != nil {
+			b.cfg.TraceSink.Record(*ev)
+		}
 	case MsgAdvertise:
 		b.mu.Lock()
 		defer b.mu.Unlock()
@@ -536,8 +731,14 @@ func (b *Broker) runMergePass() {
 // handlePublish matches one publication and forwards it. It runs under the
 // SHARED lock and therefore must not mutate any broker state: it only reads
 // the PRT (via the read-only MatchPathAttrs traversal), the client set, and
-// the per-client filter trees, and bumps atomic counters.
-func (b *Broker) handlePublish(m *Message, from string) {
+// the per-client filter trees, and bumps atomic counters. For traced
+// publications it returns the hop event for the caller to record once the
+// lock is released; untraced traffic returns nil.
+func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
+	var start time.Time
+	if b.matchSeconds != nil {
+		start = time.Now()
+	}
 	paths := [][]string{m.Pub.Path}
 	attrs := [][]map[string]string{m.Pub.Attrs}
 	if m.Doc != nil {
@@ -559,23 +760,56 @@ func (b *Broker) handlePublish(m *Message, from string) {
 			}
 		})
 	}
+	if b.matchSeconds != nil {
+		b.matchSeconds.Observe(time.Since(start).Seconds())
+	}
 	ordered := make([]string, 0, len(hops))
 	for hop := range hops {
 		ordered = append(ordered, hop)
 	}
 	sort.Strings(ordered)
+	// Traced publications travel on as a copy with this broker appended to
+	// the hop list; the received message is never mutated (simulator peers
+	// share message pointers).
+	fwd := m
+	var ev *trace.Event
+	if m.TraceID != "" {
+		now := time.Now().UnixNano()
+		hopList := make([]trace.Hop, 0, len(m.Hops)+1)
+		hopList = append(hopList, m.Hops...)
+		hopList = append(hopList, trace.Hop{Broker: b.cfg.ID, UnixNano: now})
+		cp := *m
+		cp.Hops = hopList
+		fwd = &cp
+		ev = &trace.Event{
+			TraceID:      m.TraceID,
+			Broker:       b.cfg.ID,
+			From:         from,
+			Hops:         hopList,
+			RecvUnixNano: now,
+		}
+	}
 	for _, hop := range ordered {
 		if b.clients[hop] {
 			// Edge filtering: imperfect mergers must not leak false
 			// positives to clients.
 			if !b.matchesClient(hop, paths, attrs) {
 				b.stats.falsePositives.Add(1)
+				if ev != nil {
+					ev.FilteredFor = append(ev.FilteredFor, hop)
+				}
 				continue
 			}
 			b.stats.deliveries.Add(1)
+			if ev != nil {
+				ev.DeliveredTo = append(ev.DeliveredTo, hop)
+			}
+		} else if ev != nil {
+			ev.ForwardedTo = append(ev.ForwardedTo, hop)
 		}
-		b.emit(hop, m)
+		b.emit(hop, fwd)
 	}
+	return ev
 }
 
 func (b *Broker) matchesClient(client string, paths [][]string, attrs [][]map[string]string) bool {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/advert"
+	"repro/internal/trace"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
@@ -75,6 +76,17 @@ type Message struct {
 	// transport's clock (virtual for the simulator, wall for TCP); clients
 	// compute notification delay from it.
 	Stamp int64
+
+	// TraceID, when non-empty, opts this publication into per-hop tracing:
+	// every broker it crosses appends itself to Hops and records a trace
+	// event (see package trace). Empty for untraced traffic — the hot path
+	// then pays only a string comparison.
+	TraceID string
+	// Hops is the broker path the publication has taken so far, carried in
+	// the frame so any single hop (and the final subscriber) can see the
+	// full upstream path. Brokers never mutate a received hop list; they
+	// forward an appended copy.
+	Hops []trace.Hop
 }
 
 // String renders a short description for logs.

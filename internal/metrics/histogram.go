@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default histogram bucket upper bounds in seconds,
+// spanning sub-microsecond matching work up to multi-second stalls. They
+// mirror the decades the broker's hot paths actually occupy: in-memory
+// matching sits in the 1µs–1ms range, network hops in 0.1ms–1s.
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent use. Unlike
+// Summary it retains no samples: memory is constant (one atomic counter per
+// bucket plus count and sum), and Observe is lock-free — a binary search
+// over the bucket bounds and two atomic adds — so it is safe to call from
+// the broker's publish data plane.
+//
+// Bucket semantics follow the Prometheus convention: bucket i counts
+// observations v with v <= upper[i] (upper bounds are inclusive), and an
+// implicit +Inf bucket catches the rest.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds; +Inf is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram with the given bucket upper bounds. The
+// bounds are copied, sorted, and deduplicated; a trailing +Inf is dropped
+// (it is implicit). NewHistogram panics on an empty bucket list.
+func NewHistogram(buckets []float64) *Histogram {
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	out := bs[:0]
+	for i, b := range bs {
+		if math.IsInf(b, +1) {
+			continue
+		}
+		if i > 0 && len(out) > 0 && b == out[len(out)-1] {
+			continue
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		panic("metrics: histogram needs at least one finite bucket")
+	}
+	return &Histogram{
+		upper:  out,
+		counts: make([]atomic.Int64, len(out)+1), // final slot is +Inf
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Find the first bucket whose upper bound admits v.
+	i := sort.SearchFloat64s(h.upper, v)
+	// SearchFloat64s returns the first index with upper[i] >= v, which is
+	// exactly the inclusive-upper-bound bucket; v greater than every bound
+	// lands on len(upper), the +Inf slot.
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the finite upper bounds.
+func (h *Histogram) Buckets() []float64 { return h.upper }
+
+// Cumulative returns the cumulative count per bucket: element i is the
+// number of observations <= upper[i], and the final element (index
+// len(Buckets())) is the total including the +Inf bucket. The counts are
+// read bucket-by-bucket without a lock, so under concurrent Observe the
+// snapshot may be mid-update; it is always internally monotonic.
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		out[i] = acc
+	}
+	return out
+}

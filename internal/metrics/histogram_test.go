@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound convention:
+// an observation equal to a bucket's bound lands in that bucket, one just
+// above lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	h.Observe(0.1)  // == first bound → bucket 0
+	h.Observe(0.11) // just above → bucket 1
+	h.Observe(1)    // == second bound → bucket 1
+	h.Observe(10)   // == last bound → bucket 2
+	h.Observe(10.5) // above every bound → +Inf
+	h.Observe(-1)   // below every bound → bucket 0
+
+	cum := h.Cumulative()
+	want := []int64{2, 4, 5, 6} // cumulative per le=0.1, 1, 10, +Inf
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d (full: %v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.1+0.11+1+10+10.5-1; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramNormalisesBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 0.1, 1, math.Inf(1)})
+	if got := h.Buckets(); len(got) != 2 || got[0] != 0.1 || got[1] != 1 {
+		t.Errorf("Buckets = %v, want [0.1 1]", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	h.ObserveDuration(250 * time.Millisecond)
+	if got := h.Sum(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("Sum = %v, want 0.25 (durations are recorded in seconds)", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.25)
+				h.Observe(0.75)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 16000 {
+		t.Errorf("Count = %d, want 16000", h.Count())
+	}
+	cum := h.Cumulative()
+	if cum[0] != 8000 || cum[1] != 16000 {
+		t.Errorf("Cumulative = %v, want [8000 16000]", cum)
+	}
+	if got, want := h.Sum(), 8000*0.25+8000*0.75; math.Abs(got-want) > 1e-6 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}

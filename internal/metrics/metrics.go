@@ -6,6 +6,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -63,20 +64,60 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 // High returns the largest value the gauge has held.
 func (g *Gauge) High() int64 { return g.high.Load() }
 
+// summaryReservoir caps the samples a Summary retains. Count, Mean, Min and
+// Max stay exact at any volume; quantiles beyond the cap are estimated from
+// a uniform reservoir (algorithm R), so a long-running broker's summaries
+// use constant memory instead of growing one float64 per observation.
+const summaryReservoir = 4096
+
 // Summary accumulates float64 samples and reports order statistics. The
 // zero value is ready to use; methods are safe for concurrent use.
+//
+// Memory is bounded: at most summaryReservoir samples are retained. Up to
+// the cap every statistic is exact; past it, Count/Mean/Min/Max remain
+// exact (tracked by running accumulators) while quantiles are estimated
+// from a uniform random sample of everything observed.
 type Summary struct {
 	mu      sync.Mutex
-	samples []float64
+	samples []float64 // reservoir
 	sorted  bool
+	n       int64   // total observations
+	sum     float64 // running sum of all observations
+	min     float64
+	max     float64
+	rng     *rand.Rand
 }
 
 // Observe records one sample.
 func (s *Summary) Observe(v float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.samples = append(s.samples, v)
-	s.sorted = false
+	s.n++
+	s.sum += v
+	if s.n == 1 || v < s.min {
+		s.min = v
+	}
+	if s.n == 1 || v > s.max {
+		s.max = v
+	}
+	if len(s.samples) < summaryReservoir {
+		s.samples = append(s.samples, v)
+		s.sorted = false
+		return
+	}
+	// Reservoir replacement (algorithm R): keep v with probability
+	// cap/n, evicting a uniformly random resident. Sorting permutes the
+	// reservoir between observations, which does not bias the choice —
+	// the evicted slot is uniform either way.
+	if s.rng == nil {
+		// Fixed seed: summaries are statistics helpers, and deterministic
+		// sampling keeps experiment reruns reproducible.
+		s.rng = rand.New(rand.NewSource(1))
+	}
+	if j := s.rng.Int63n(s.n); j < summaryReservoir {
+		s.samples[j] = v
+		s.sorted = false
+	}
 }
 
 // ObserveDuration records a duration sample in milliseconds.
@@ -84,34 +125,37 @@ func (s *Summary) ObserveDuration(d time.Duration) {
 	s.Observe(float64(d) / float64(time.Millisecond))
 }
 
-// Count returns the number of samples.
+// Count returns the number of samples observed (not the retained subset).
 func (s *Summary) Count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.samples)
+	return int(s.n)
 }
 
-// Mean returns the arithmetic mean, or 0 with no samples.
+// Mean returns the arithmetic mean of all observations, or 0 with none.
 func (s *Summary) Mean() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.samples) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	total := 0.0
-	for _, v := range s.samples {
-		total += v
-	}
-	return total / float64(len(s.samples))
+	return s.sum / float64(s.n)
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank, or 0 with
-// no samples.
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank over the
+// retained samples, or 0 with none. The extremes are answered from the
+// exact accumulators, so q=0 and q=1 stay right past the reservoir cap.
 func (s *Summary) Quantile(q float64) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.samples) == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
 	}
 	s.ensureSorted()
 	idx := int(math.Ceil(q*float64(len(s.samples)))) - 1
@@ -124,26 +168,20 @@ func (s *Summary) Quantile(q float64) float64 {
 	return s.samples[idx]
 }
 
-// Min returns the smallest sample, or 0 with no samples.
+// Min returns the smallest observation, or 0 with none. Exact at any
+// volume (tracked outside the reservoir).
 func (s *Summary) Min() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.samples) == 0 {
-		return 0
-	}
-	s.ensureSorted()
-	return s.samples[0]
+	return s.min
 }
 
-// Max returns the largest sample, or 0 with no samples.
+// Max returns the largest observation, or 0 with none. Exact at any
+// volume (tracked outside the reservoir).
 func (s *Summary) Max() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.samples) == 0 {
-		return 0
-	}
-	s.ensureSorted()
-	return s.samples[len(s.samples)-1]
+	return s.max
 }
 
 // ensureSorted must be called with the lock held.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -107,6 +108,49 @@ func TestSummaryDurationAndString(t *testing.T) {
 	}
 	if !strings.Contains(s.String(), "n=1") {
 		t.Errorf("String = %q", s.String())
+	}
+}
+
+// TestSummaryBoundedMemory drives a Summary far past the reservoir cap and
+// checks that memory stays bounded while the exact statistics stay exact
+// and the estimated quantiles stay plausible.
+func TestSummaryBoundedMemory(t *testing.T) {
+	var s Summary
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		s.Observe(float64(i))
+	}
+	if got := len(s.samples); got > summaryReservoir {
+		t.Fatalf("retained %d samples, cap is %d", got, summaryReservoir)
+	}
+	if got := s.Count(); got != n {
+		t.Errorf("Count = %d, want %d (total observed, not retained)", got, n)
+	}
+	if got, want := s.Mean(), float64(n+1)/2; got != want {
+		t.Errorf("Mean = %v, want exact %v", got, want)
+	}
+	if s.Min() != 1 || s.Max() != n {
+		t.Errorf("Min/Max = %v/%v, want exact 1/%d", s.Min(), s.Max(), n)
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != n {
+		t.Errorf("extreme quantiles = %v/%v, want exact 1/%d", s.Quantile(0), s.Quantile(1), n)
+	}
+	// The median is estimated from a 4096-element uniform reservoir; a
+	// ±10% band is ~13 standard errors wide.
+	if med := s.Quantile(0.5); med < 0.4*n || med > 0.6*n {
+		t.Errorf("median estimate %v implausible for uniform 1..%d", med, n)
+	}
+}
+
+func TestSummaryExactUnderCap(t *testing.T) {
+	var s Summary
+	for i := 1; i <= summaryReservoir; i++ {
+		s.Observe(float64(i))
+	}
+	// At exactly the cap nothing has been sampled away: nearest-rank
+	// quantiles are exact.
+	if got, want := s.Quantile(0.5), math.Ceil(0.5*summaryReservoir); got != want {
+		t.Errorf("median = %v, want exact %v", got, want)
 	}
 }
 

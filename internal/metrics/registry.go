@@ -1,0 +1,299 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a collection of named metrics rendered in the Prometheus text
+// exposition format. Metric constructors are get-or-create: calling
+// Counter("x") twice returns the same *Counter, so packages can resolve
+// their instruments independently. A metric name plus its sorted label set
+// identifies one series; one name holds series of exactly one type.
+//
+// The registry itself is locked only on registration and exposition — the
+// returned Counter/Gauge/Histogram pointers are the same lock-free
+// primitives used elsewhere in this package, so instrumented hot paths
+// never touch the registry lock. For values that are cheap to read on
+// demand (table sizes, queue depths), CounterFunc/GaugeFunc register a
+// callback sampled at exposition time instead, costing the hot path
+// nothing at all.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	series map[string]*series
+}
+
+type series struct {
+	labels  string // rendered `{k="v",...}` or ""
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // func-backed counter/gauge
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter series name{labels}, creating it on first
+// use. labels are key/value pairs ("peer", "b2"); an odd count or a type
+// conflict with an existing family panics (programmer error).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.getOrCreate(name, help, "counter", labels, func() *series {
+		return &series{counter: &Counter{}}
+	})
+	return s.counter
+}
+
+// Gauge returns the gauge series name{labels}, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.getOrCreate(name, help, "gauge", labels, func() *series {
+		return &series{gauge: &Gauge{}}
+	})
+	return s.gauge
+}
+
+// Histogram returns the histogram series name{labels} with the given
+// buckets, creating it on first use (buckets are ignored when the series
+// already exists).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	s := r.getOrCreate(name, help, "histogram", labels, func() *series {
+		return &series{hist: NewHistogram(buckets)}
+	})
+	return s.hist
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// exposition time — for values already maintained as atomics elsewhere
+// (broker delivery counts), so the hot path is not instrumented twice.
+// Re-registering an existing series replaces its callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.registerFunc(name, help, "counter", fn, labels)
+}
+
+// GaugeFunc registers a gauge series read from fn at exposition time — for
+// instantaneous values that are cheap to compute on demand (routing-table
+// sizes, queue depths).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.registerFunc(name, help, "gauge", fn, labels)
+}
+
+// Unregister removes the series name{labels}, and the whole family when it
+// was the last series. It is used when a labelled resource disappears
+// (a peer disconnecting drops its queue-depth gauge).
+func (r *Registry) Unregister(name string, labels ...string) {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return
+	}
+	delete(f.series, key)
+	if len(f.series) == 0 {
+		delete(r.families, name)
+	}
+}
+
+func (r *Registry) registerFunc(name, help, typ string, fn func() float64, labels []string) {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	if old := f.series[key]; old != nil && old.fn == nil {
+		panic(fmt.Sprintf("metrics: series %s%s exists as a non-func %s", name, key, typ))
+	}
+	// Series are immutable once published (renderers read them without the
+	// lock), so replacing a callback installs a fresh series object.
+	f.series[key] = &series{labels: key, fn: fn}
+}
+
+func (r *Registry) getOrCreate(name, help, typ string, labels []string, mk func() *series) *series {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	s := f.series[key]
+	if s == nil {
+		s = mk()
+		s.labels = key
+		f.series[key] = s
+	}
+	return s
+}
+
+// renderLabels turns key/value pairs into a canonical `{k="v",...}` string
+// (sorted by key), or "" with no labels.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics: odd label list, want key/value pairs")
+	}
+	pairs := make([]string, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		// %q escapes backslash, double quote, and newline — exactly the
+		// exposition format's label escaping rules.
+		pairs = append(pairs, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// labelsWith appends extra pairs (le buckets) inside an already-rendered
+// label string.
+func labelsWith(rendered, key, value string) string {
+	extra := fmt.Sprintf("%s=%q", key, value)
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, families sorted by name and series by label string, so output is
+// deterministic and diffable in golden tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f famView, s *series) error {
+	switch {
+	case s.hist != nil:
+		cum := s.hist.Cumulative()
+		for i, ub := range s.hist.Buckets() {
+			ls := labelsWith(s.labels, "le", formatFloat(ub))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, ls, cum[i]); err != nil {
+				return err
+			}
+		}
+		ls := labelsWith(s.labels, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, ls, cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(s.hist.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.hist.Count())
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(seriesValue(s)))
+		return err
+	}
+}
+
+// WriteKeyValue renders every scalar metric as one `name{labels}=value`
+// token, space-separated on a single line — the broker's periodic stats
+// log. Histograms contribute their _count and _sum.
+func (r *Registry) WriteKeyValue(w io.Writer) error {
+	first := true
+	emit := func(k, v string) error {
+		sep := " "
+		if first {
+			sep, first = "", false
+		}
+		_, err := fmt.Fprintf(w, "%s%s=%s", sep, k, v)
+		return err
+	}
+	for _, f := range r.snapshot() {
+		for _, s := range f.series {
+			var err error
+			if s.hist != nil {
+				if err = emit(f.name+"_count"+s.labels, fmt.Sprint(s.hist.Count())); err == nil {
+					err = emit(f.name+"_sum"+s.labels, formatFloat(s.hist.Sum()))
+				}
+			} else {
+				err = emit(f.name+s.labels, formatFloat(seriesValue(s)))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func seriesValue(s *series) float64 {
+	switch {
+	case s.fn != nil:
+		return s.fn()
+	case s.counter != nil:
+		return float64(s.counter.Load())
+	case s.gauge != nil:
+		return float64(s.gauge.Load())
+	}
+	return 0
+}
+
+// famView is an immutable snapshot of one family taken under the registry
+// lock, so rendering (which calls user callbacks) runs lock-free.
+type famView struct {
+	name, help, typ string
+	series          []*series
+}
+
+func (r *Registry) snapshot() []famView {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]famView, 0, len(r.families))
+	for _, f := range r.families {
+		v := famView{name: f.name, help: f.help, typ: f.typ}
+		for _, s := range f.series {
+			v.series = append(v.series, s)
+		}
+		sort.Slice(v.series, func(i, j int) bool { return v.series[i].labels < v.series[j].labels })
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// formatFloat renders a metric value: integers without a decimal point,
+// everything else in Go's shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// testRegistry builds a registry with one series of every kind and
+// deterministic values.
+func testRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "Requests handled.", "code", "200").Add(3)
+	reg.Counter("test_requests_total", "Requests handled.", "code", "500").Inc()
+	reg.Gauge("test_queue_depth", "Queue depth.").Set(7)
+	reg.GaugeFunc("test_table_size", "Table size.", func() float64 { return 42.5 })
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.5, 2} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := testRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestWriteKeyValue(t *testing.T) {
+	var b strings.Builder
+	if err := testRegistry().WriteKeyValue(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_latency_seconds_count=4 test_latency_seconds_sum=2.515 ` +
+		`test_queue_depth=7 test_requests_total{code="200"}=3 ` +
+		`test_requests_total{code="500"}=1 test_table_size=42.5`
+	if b.String() != want {
+		t.Errorf("key=value line:\ngot  %s\nwant %s", b.String(), want)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "")
+	b := reg.Counter("x_total", "")
+	if a != b {
+		t.Error("same name must return the same counter")
+	}
+	l1 := reg.Counter("y_total", "", "peer", "b2")
+	l2 := reg.Counter("y_total", "", "peer", "b3")
+	if l1 == l2 {
+		t.Error("different label values must be distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type conflict must panic")
+		}
+	}()
+	reg.Gauge("x_total", "")
+}
+
+func TestRegistryUnregister(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("q_depth", "", func() float64 { return 1 }, "peer", "b2")
+	reg.GaugeFunc("q_depth", "", func() float64 { return 2 }, "peer", "b3")
+	reg.Unregister("q_depth", "peer", "b2")
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if strings.Contains(out, `peer="b2"`) {
+		t.Errorf("unregistered series still rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `q_depth{peer="b3"} 2`) {
+		t.Errorf("remaining series missing:\n%s", out)
+	}
+	reg.Unregister("q_depth", "peer", "b3")
+	b.Reset()
+	reg.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Errorf("empty family must render nothing, got:\n%s", b.String())
+	}
+}
+
+func TestGaugeFuncReplace(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("g", "", func() float64 { return 1 })
+	reg.GaugeFunc("g", "", func() float64 { return 2 })
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "g 2") {
+		t.Errorf("replacement callback not used:\n%s", b.String())
+	}
+}
+
+// TestRegistryConcurrent hammers registration, observation, and exposition
+// together; run under -race in CI.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				reg.Counter("c_total", "").Inc()
+				reg.Histogram("h", "", DefBuckets).Observe(float64(j) / 100)
+				peer := []string{"a", "b", "c", "d"}[i]
+				reg.GaugeFunc("q", "", func() float64 { return float64(j) }, "peer", peer)
+				if j%3 == 0 {
+					reg.Unregister("q", "peer", peer)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				var b strings.Builder
+				if err := reg.WritePrometheus(&b); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c_total", "").Load(); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+}

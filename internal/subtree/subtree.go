@@ -22,8 +22,8 @@
 // classes with a guaranteed contract:
 //
 //   - READ-ONLY: MatchPath, MatchPathAttrs, MatchPathAny, MatchPathAnyAttrs,
-//     Lookup, Size, Depth, Walk, TopLevel, Coverers, CoveredBy, IsCovered,
-//     IsCoveredBesides, String, and the Node accessors. These never mutate
+//     Lookup, Size, Depth, Walk, Stats, TopLevel, Coverers, CoveredBy,
+//     IsCovered, IsCoveredBesides, String, and the Node accessors. These never mutate
 //     the tree (they may not even write transient scratch state into it) and
 //     are safe to run concurrently with each other. The broker's publication
 //     hot path depends on this invariant to match publications in parallel
@@ -381,6 +381,18 @@ func (t *Tree) Walk(visit func(*Node)) {
 	for _, c := range t.root.children {
 		walk(c)
 	}
+}
+
+// Stats reports the covering structure's shape for observability: stored
+// nodes, parent-child edges, and super-pointer edges. Read-only (see the
+// package concurrency contract).
+func (t *Tree) Stats() (nodes, edges, superEdges int) {
+	t.Walk(func(n *Node) {
+		nodes++
+		edges += len(n.children)
+		superEdges += len(n.super)
+	})
+	return
 }
 
 // Depth returns the maximum node depth (1 for children of the root).

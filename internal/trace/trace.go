@@ -1,0 +1,127 @@
+// Package trace implements per-hop publication tracing for the
+// dissemination network. A publisher stamps a publication with a TraceID;
+// every broker the publication crosses appends a Hop to the hop list
+// carried in the transport frame and records an Event — what arrived, where
+// from, where it went — into a bounded in-memory Ring. The rings of the
+// brokers on a path together reconstruct the full dissemination tree of one
+// publication; a single broker's ring already shows the upstream path,
+// because the hop list travels with the frame.
+//
+// Tracing is strictly opt-in per publication: a message without a TraceID
+// costs the hot path a single string comparison and nothing else.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+)
+
+// Hop is one broker crossing, carried in the message frame.
+type Hop struct {
+	// Broker is the crossing broker's ID.
+	Broker string `json:"broker"`
+	// UnixNano is the broker's wall clock when it matched the publication.
+	UnixNano int64 `json:"unix_nano"`
+}
+
+// Event is one broker's record of one traced publication passing through.
+type Event struct {
+	// TraceID identifies the publication network-wide.
+	TraceID string `json:"trace_id"`
+	// Broker is the recording broker.
+	Broker string `json:"broker"`
+	// From is the peer the publication arrived from ("" for local origins).
+	From string `json:"from,omitempty"`
+	// Hops is the path up to and including the recording broker.
+	Hops []Hop `json:"hops"`
+	// ForwardedTo lists the broker peers the publication was sent on to.
+	ForwardedTo []string `json:"forwarded_to,omitempty"`
+	// DeliveredTo lists the client peers that received it here.
+	DeliveredTo []string `json:"delivered_to,omitempty"`
+	// FilteredFor lists client peers suppressed by edge filtering (false
+	// positives of imperfect merging).
+	FilteredFor []string `json:"filtered_for,omitempty"`
+	// RecvUnixNano is the recording broker's wall clock at match time.
+	RecvUnixNano int64 `json:"recv_unix_nano"`
+}
+
+// Sink receives trace events; the broker calls Record once per traced
+// publication, outside its routing lock. A nil-able interface keeps the
+// broker decoupled from the ring.
+type Sink interface {
+	Record(Event)
+}
+
+// Ring is a bounded in-memory event store: the newest events overwrite the
+// oldest once capacity is reached. All methods are safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int // index of the slot the next event lands in
+	total int64
+}
+
+// NewRing creates a ring retaining up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Record stores one event, evicting the oldest when full.
+func (r *Ring) Record(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Snapshot returns the retained events oldest-first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// ByID returns the retained events for one trace ID, oldest-first.
+func (r *Ring) ByID(id string) []Event {
+	var out []Event
+	for _, ev := range r.Snapshot() {
+		if ev.TraceID == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded (including evicted).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// NewID returns a fresh random trace ID (16 hex chars).
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable; trace IDs only need
+		// uniqueness, so degrade to a constant rather than crash tracing.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -122,6 +122,11 @@ type Server struct {
 	// high-water mark shows how deep the pool has been driven.
 	InFlight metrics.Gauge
 
+	// reg mirrors cfg.Metrics: when non-nil the server registers its own
+	// transport-level instruments (pool occupancy, per-peer send-queue
+	// depths) next to the broker's.
+	reg *metrics.Registry
+
 	closed  chan struct{}
 	closeMu sync.Once
 	wg      sync.WaitGroup
@@ -152,6 +157,18 @@ func NewServerWorkers(cfg broker.Config, neighbors map[string]string, workers in
 	}
 	for i := range s.pubQueues {
 		s.pubQueues[i] = make(chan pubTask, sendQueueDepth)
+	}
+	if cfg.Metrics != nil {
+		s.reg = cfg.Metrics
+		s.reg.GaugeFunc("xbroker_pool_in_flight",
+			"Publications queued or being matched in the worker pool.",
+			func() float64 { return float64(s.InFlight.Load()) })
+		s.reg.GaugeFunc("xbroker_pool_in_flight_high",
+			"High-water mark of worker-pool occupancy.",
+			func() float64 { return float64(s.InFlight.High()) })
+		s.reg.GaugeFunc("xbroker_pool_workers",
+			"Size of the publication-matching worker pool.",
+			func() float64 { return float64(len(s.pubQueues)) })
 	}
 	return s
 }
@@ -260,12 +277,24 @@ func (s *Server) serveConn(conn net.Conn, expectID string) {
 		return // neighbour misconfiguration
 	}
 	pc := newPeerConn(conn, enc)
-	s.peers.Store(id, pc)
+	s.addPeer(id, pc)
 	defer s.dropPeer(id, pc)
 	if _, isNeighbor := s.neighbors[id]; !isNeighbor {
 		s.b.AddClient(id)
 	}
 	s.readLoop(dec, id)
+}
+
+// addPeer publishes a live connection and its queue-depth gauge. The gauge
+// reads len() of the peer's channel at exposition time — no bookkeeping on
+// the send path. Reconnections replace the previous gauge callback.
+func (s *Server) addPeer(id string, pc *peerConn) {
+	s.peers.Store(id, pc)
+	if s.reg != nil {
+		s.reg.GaugeFunc("xbroker_send_queue_depth",
+			"Outbound messages queued toward a peer connection.",
+			func() float64 { return float64(len(pc.queue)) }, "peer", id)
+	}
 }
 
 // readLoop decodes frames from one connection. Control messages are handled
@@ -289,10 +318,14 @@ func (s *Server) readLoop(dec *gob.Decoder, id string) {
 	}
 }
 
-// dropPeer removes a peer mapping if it still refers to this connection.
+// dropPeer removes a peer mapping (and its queue gauge) if it still refers
+// to this connection.
 func (s *Server) dropPeer(id string, pc *peerConn) {
 	if cur, ok := s.peers.Load(id); ok && cur == pc {
 		s.peers.Delete(id)
+		if s.reg != nil {
+			s.reg.Unregister("xbroker_send_queue_depth", "peer", id)
+		}
 	}
 	pc.shutdown()
 }
@@ -332,7 +365,7 @@ func (s *Server) dial(id, addr string) (*peerConn, error) {
 		return nil, fmt.Errorf("transport: hello to %s: %w", id, err)
 	}
 	pc := newPeerConn(conn, enc)
-	s.peers.Store(id, pc)
+	s.addPeer(id, pc)
 	// The dialled neighbour may speak back on the same connection.
 	s.wg.Add(1)
 	go func() {
