@@ -84,7 +84,7 @@ func TestAdvertiseDTD(t *testing.T) {
 func TestRunRejectsBadInvocations(t *testing.T) {
 	_, addr := startBroker(t)
 	for _, args := range [][]string{
-		{"-connect", addr},                                // no action selected
+		{"-connect", addr}, // no action selected
 		{"-connect", addr, "-subscribe", "not a [ valid"}, // bad XPE
 		{"-connect", addr, "-publish", "no-such-file.xml"},
 		{"-bogus"},

@@ -3,6 +3,7 @@ package advert
 import (
 	"math/bits"
 
+	"repro/internal/symtab"
 	"repro/internal/xpath"
 )
 
@@ -171,8 +172,19 @@ func findSegment(adv, seg []string, from int) int {
 // MatchesPath reports whether a concrete root-to-leaf publication path is in
 // the advertisement's publication set, i.e. the path is an expansion of the
 // advertisement (wildcard tests match any element; every group repeats one
-// or more times; lengths must agree exactly).
+// or more times; lengths must agree exactly). It is the string adapter over
+// MatchesSymPath; the path is interned (publication alphabets are bounded by
+// the DTDs in play, so the table stays small). Lookup would not be safe
+// here: the automaton's own edge names are interned lazily on first compile,
+// so a lookup-converted path could miss names the table is about to learn.
 func (a *Advertisement) MatchesPath(path []string) bool {
+	return a.MatchesSymPath(symtab.InternPath(path))
+}
+
+// MatchesSymPath is MatchesPath over an interned path: the automaton's
+// alphabet is the shared symbol table, so the simulation compares uint32
+// symbols only.
+func (a *Advertisement) MatchesSymPath(path []symtab.Sym) bool {
 	n := a.nfa()
 	if n.closure64 != nil {
 		return n.matchesPath64(path)
@@ -180,11 +192,11 @@ func (a *Advertisement) MatchesPath(path []string) bool {
 	// Simulate the NFA over the concrete path; acceptance requires consuming
 	// the entire path and ending in the accept state.
 	cur := n.closure(map[int]bool{n.start: true})
-	for _, name := range path {
+	for _, sym := range path {
 		next := make(map[int]bool)
 		for st := range cur {
 			for _, e := range n.edges[st] {
-				if e.sym == xpath.Wildcard || e.sym == name {
+				if e.sym == symtab.Wildcard || e.sym == sym {
 					next[e.to] = true
 				}
 			}
@@ -198,15 +210,15 @@ func (a *Advertisement) MatchesPath(path []string) bool {
 }
 
 // matchesPath64 is the allocation-free bitmask simulation.
-func (n *advNFA) matchesPath64(path []string) bool {
+func (n *advNFA) matchesPath64(path []symtab.Sym) bool {
 	cur := n.closure64[n.start]
-	for _, name := range path {
+	for _, sym := range path {
 		var next uint64
 		for rest := cur; rest != 0; {
 			st := bits.TrailingZeros64(rest)
 			rest &^= 1 << uint(st)
 			for _, e := range n.edges[st] {
-				if e.sym == xpath.Wildcard || e.sym == name {
+				if e.sym == symtab.Wildcard || e.sym == sym {
 					next |= n.closure64[e.to]
 				}
 			}
@@ -222,7 +234,7 @@ func (n *advNFA) matchesPath64(path []string) bool {
 // --- automaton construction and the general overlap matcher ---
 
 type nfaEdge struct {
-	sym string
+	sym symtab.Sym // interned element test; symtab.Wildcard matches anything
 	to  int
 }
 
@@ -272,7 +284,7 @@ func (a *Advertisement) compileNFA() *advNFA {
 				cur = end
 			} else {
 				next := newState()
-				n.edges[cur] = append(n.edges[cur], nfaEdge{sym: it.Name, to: next})
+				n.edges[cur] = append(n.edges[cur], nfaEdge{sym: symtab.Intern(it.Name), to: next})
 				cur = next
 			}
 		}
@@ -298,6 +310,7 @@ func (a *Advertisement) compileNFA() *advNFA {
 // with j subscription steps consumed.
 func (n *advNFA) overlaps64(s *xpath.XPE) bool {
 	k := s.Len()
+	subSyms := s.Syms()
 	visited := make([]uint64, k+1)
 	type prod struct {
 		adv int
@@ -325,7 +338,7 @@ func (n *advNFA) overlaps64(s *xpath.XPE) bool {
 			if skip {
 				push(n.closure64[e.to], p.sub)
 			}
-			if xpath.SymbolOverlaps(e.sym, s.Steps[p.sub].Name) {
+			if xpath.SymOverlaps(e.sym, subSyms[p.sub]) {
 				push(n.closure64[e.to], p.sub+1)
 			}
 		}
@@ -372,6 +385,7 @@ func (a *Advertisement) overlapsNFA(s *xpath.XPE) bool {
 		return n.overlaps64(s)
 	}
 	k := s.Len()
+	subSyms := s.Syms()
 	type prod struct{ adv, sub int }
 	seen := make(map[prod]bool)
 	var queue []prod
@@ -397,7 +411,7 @@ func (a *Advertisement) overlapsNFA(s *xpath.XPE) bool {
 				if skip {
 					push(prod{to, p.sub})
 				}
-				if xpath.SymbolOverlaps(e.sym, s.Steps[p.sub].Name) {
+				if xpath.SymOverlaps(e.sym, subSyms[p.sub]) {
 					push(prod{to, p.sub + 1})
 				}
 			}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/merge"
 	"repro/internal/metrics"
 	"repro/internal/subtree"
+	"repro/internal/symtab"
 	"repro/internal/trace"
 	"repro/internal/xpath"
 )
@@ -127,20 +128,32 @@ const msgTypeCount = int(MsgPublish) + 1
 //
 // Concurrency model: broker state splits into a control plane and a data
 // plane. Control messages (advertise, unadvertise, subscribe, unsubscribe,
-// and the merge pass they trigger) mutate the SRT and PRT and run under the
-// exclusive lock; publish — the hot path — only reads the routing tables
-// (subtree.MatchPath* are read-only, see that package's docs) and runs under
-// the shared lock, so any number of publications are matched in parallel.
-// Counters are atomics and never require the lock. The send callback is
-// invoked while the lock is held (shared for publish); it must not call back
-// into the broker.
+// and the merge pass they trigger) mutate the master SRT and PRT under the
+// exclusive lock and, before releasing it, publish an immutable
+// routeSnapshot through an atomic pointer. Publish — the hot path —
+// acquires no mutex at all: it loads the snapshot once and matches against
+// that consistent view (subtree.Match* are read-only, see that package's
+// docs), so any number of publications are matched in parallel and never
+// contend with control-plane updates. A publication racing a control change
+// is routed by either the old or the new table, exactly as if it had
+// arrived entirely before or after the change. Counters are atomics and
+// never require the lock. The send callback must not mutate the broker from
+// publish context; for control messages it is invoked while the exclusive
+// lock is held and must not call back into the broker.
 type Broker struct {
 	cfg  Config
 	send func(to string, m *Message)
 
-	// mu orders the two planes: exclusive for control messages, shared for
-	// publish and read accessors.
+	// mu serialises the control plane (and guards the master tables below).
+	// The publish data plane never takes it.
 	mu sync.RWMutex
+
+	// snap is the immutable routing state the publish data plane reads,
+	// swapped by publishSnapshot at the end of every control mutation.
+	snap atomic.Pointer[routeSnapshot]
+	// dirty tracks which master tables the current control message touched;
+	// guarded by mu.
+	dirty snapDirty
 
 	neighbors []string        // broker peers
 	clients   map[string]bool // client peers
@@ -197,6 +210,7 @@ func New(cfg Config, send func(to string, m *Message)) *Broker {
 		prt:        subtree.New(),
 		clientSubs: make(map[string]*subtree.Tree),
 	}
+	b.snap.Store(emptySnapshot())
 	if cfg.Metrics != nil {
 		b.registerMetrics(cfg.Metrics)
 	}
@@ -245,6 +259,9 @@ func (b *Broker) registerMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("xbroker_prt_super_edges",
 		"Super-pointer edges (cross-subtree covering relations) in the covering tree.",
 		func() float64 { return float64(b.PRTStats().SuperEdges) })
+	reg.GaugeFunc("xbroker_snapshot_epoch",
+		"Routing-snapshot epoch: increments each time a control-plane change swaps the publish view.",
+		func() float64 { return float64(b.SnapshotEpoch()) })
 }
 
 // ID returns the broker's identifier.
@@ -263,9 +280,12 @@ func (b *Broker) AddClient(id string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.clients[id] = true
+	b.dirty.clients = true
 	if b.clientSubs[id] == nil {
 		b.clientSubs[id] = subtree.New()
+		b.dirty.markClientSubs(id)
 	}
+	b.publishSnapshot()
 }
 
 // Stats returns a snapshot of the broker's counters. It never blocks on the
@@ -289,18 +309,16 @@ func (b *Broker) Stats() Stats {
 	return out
 }
 
-// PRTSize returns the number of subscriptions stored in the PRT.
+// PRTSize returns the number of subscriptions stored in the PRT. It reads
+// the routing snapshot and never blocks on the broker lock.
 func (b *Broker) PRTSize() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.prt.Size()
+	return b.snap.Load().prt.Size()
 }
 
-// SRTSize returns the number of advertisements stored in the SRT.
+// SRTSize returns the number of advertisements stored in the SRT. It reads
+// the routing snapshot and never blocks on the broker lock.
 func (b *Broker) SRTSize() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return len(b.srt)
+	return len(b.snap.Load().srt)
 }
 
 // PRT exposes the subscription tree for experiments and tests. The caller
@@ -314,11 +332,10 @@ type TreeStats struct {
 	SuperEdges int // cross-subtree covering relations
 }
 
-// PRTStats measures the covering tree under the shared lock.
+// PRTStats measures the covering tree. It walks the immutable routing
+// snapshot, so metric exposition never blocks the control plane.
 func (b *Broker) PRTStats() TreeStats {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	n, e, s := b.prt.Stats()
+	n, e, s := b.snap.Load().prt.Stats()
 	return TreeStats{Nodes: n, Edges: e, SuperEdges: s}
 }
 
@@ -396,39 +413,38 @@ func sortedKeys(m map[string]bool) []string {
 }
 
 // HandleMessage processes one incoming message from peer `from`. It is safe
-// for concurrent use: control messages serialise on the exclusive lock while
-// publications from different peers are matched in parallel under the shared
-// lock.
+// for concurrent use: control messages serialise on the exclusive lock (and
+// swap the routing snapshot before releasing it) while publications are
+// matched lock-free against the snapshot, in parallel with each other and
+// with control changes.
 func (b *Broker) HandleMessage(m *Message, from string) {
 	if int(m.Type) < msgTypeCount {
 		b.stats.msgsIn[m.Type].Add(1)
 	}
 	switch m.Type {
 	case MsgPublish:
-		b.mu.RLock()
 		ev := b.handlePublish(m, from)
-		b.mu.RUnlock()
-		// Trace events are recorded after the routing lock is released, so
-		// the sink may lock freely without entering the broker's hierarchy.
+		// Trace events are recorded outside any routing structure, so the
+		// sink may lock freely without entering the broker's hierarchy.
 		if ev != nil && b.cfg.TraceSink != nil {
 			b.cfg.TraceSink.Record(*ev)
 		}
-	case MsgAdvertise:
+	case MsgAdvertise, MsgUnadvertise, MsgSubscribe, MsgUnsubscribe:
 		b.mu.Lock()
 		defer b.mu.Unlock()
-		b.handleAdvertise(m, from)
-	case MsgUnadvertise:
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		b.handleUnadvertise(m, from)
-	case MsgSubscribe:
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		b.handleSubscribe(m, from)
-	case MsgUnsubscribe:
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		b.handleUnsubscribe(m, from)
+		switch m.Type {
+		case MsgAdvertise:
+			b.handleAdvertise(m, from)
+		case MsgUnadvertise:
+			b.handleUnadvertise(m, from)
+		case MsgSubscribe:
+			b.handleSubscribe(m, from)
+		case MsgUnsubscribe:
+			b.handleUnsubscribe(m, from)
+		}
+		// Swap the publish view before the lock drops: the next publication
+		// to load the snapshot observes this control change in full.
+		b.publishSnapshot()
 	}
 }
 
@@ -463,6 +479,7 @@ func (b *Broker) handleAdvertise(m *Message, from string) {
 	}
 	b.srt = append(b.srt, e)
 	b.srtByID[m.AdvID] = e
+	b.dirty.srt = true
 
 	// Flood to all other peers that are brokers.
 	for _, nb := range b.neighbors {
@@ -494,6 +511,7 @@ func (b *Broker) handleUnadvertise(m *Message, from string) {
 	for i, cur := range b.srt {
 		if cur == e {
 			b.srt = append(b.srt[:i], b.srt[i+1:]...)
+			b.dirty.srt = true
 			break
 		}
 	}
@@ -510,7 +528,9 @@ func (b *Broker) handleSubscribe(m *Message, from string) {
 	if b.clients[from] {
 		// Remember the client's original subscription for delivery
 		// filtering.
-		b.clientSubs[from].Insert(m.XPE)
+		if cres := b.clientSubs[from].Insert(m.XPE); !cres.Duplicate {
+			b.dirty.markClientSubs(from)
+		}
 	}
 
 	var res subtree.InsertResult
@@ -529,6 +549,7 @@ func (b *Broker) handleSubscribe(m *Message, from string) {
 	if res.Duplicate && !newDirection {
 		return // a pure repeat from the same peer changes nothing
 	}
+	b.dirty.prt = true
 	// A known expression arriving from a NEW direction must still
 	// propagate: reverse-path delivery needs every broker between the
 	// publisher and the new subscriber to record the new interest
@@ -631,12 +652,14 @@ func (b *Broker) handleUnsubscribe(m *Message, from string) {
 	if b.clients[from] {
 		if n := b.clientSubs[from].Lookup(m.XPE); n != nil {
 			b.clientSubs[from].Remove(n)
+			b.dirty.markClientSubs(from)
 		}
 	}
 	n := b.prt.Lookup(m.XPE)
 	if n == nil {
 		return
 	}
+	b.dirty.prt = true
 	st := stateOf(n)
 	if st != nil {
 		delete(st.lastHops, from)
@@ -674,6 +697,7 @@ func (b *Broker) handleUnsubscribe(m *Message, from string) {
 // each merger into network operations: unsubscribe the sources, subscribe
 // the merger.
 func (b *Broker) runMergePass() {
+	b.dirty.prt = true
 	maxDegree := 0.0
 	if b.cfg.Merging == MergeImperfect {
 		maxDegree = b.cfg.ImperfectDegree
@@ -728,32 +752,39 @@ func (b *Broker) runMergePass() {
 
 // --- publications ---
 
-// handlePublish matches one publication and forwards it. It runs under the
-// SHARED lock and therefore must not mutate any broker state: it only reads
-// the PRT (via the read-only MatchPathAttrs traversal), the client set, and
-// the per-client filter trees, and bumps atomic counters. For traced
-// publications it returns the hop event for the caller to record once the
-// lock is released; untraced traffic returns nil.
+// handlePublish matches one publication and forwards it. It is the lock-free
+// data plane: it loads the routing snapshot once and reads only that
+// immutable view (snapshot PRT, client set, per-client filter trees) plus
+// atomic counters — zero mutex acquisitions, so publications never contend
+// with each other or with control-plane updates. Publication paths are
+// matched in interned symbol form; a publication carrying no pre-interned
+// path (hand-built, or a whole document) is converted on arrival. For traced
+// publications it returns the hop event for the caller to record; untraced
+// traffic returns nil.
 func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
+	snap := b.snap.Load()
 	var start time.Time
 	if b.matchSeconds != nil {
 		start = time.Now()
 	}
-	paths := [][]string{m.Pub.Path}
-	attrs := [][]map[string]string{m.Pub.Attrs}
+	var paths [][]symtab.Sym
+	var attrs [][]map[string]string
 	if m.Doc != nil {
-		paths, attrs = m.Doc.AnnotatedPaths()
+		paths, attrs = m.Doc.AnnotatedSymPaths()
+	} else {
+		sp := m.Pub.SymPath
+		if sp == nil {
+			sp = symtab.InternPath(m.Pub.Path)
+		}
+		paths = [][]symtab.Sym{sp}
+		attrs = [][]map[string]string{m.Pub.Attrs}
 	}
 	// Collect next hops from all matching subscriptions with covering-
 	// pruned tree traversal; attribute predicates are evaluated in-network.
 	hops := make(map[string]bool)
 	for i, path := range paths {
-		b.prt.MatchPathAttrs(path, attrs[i], func(n *subtree.Node) {
-			st := stateOf(n)
-			if st == nil {
-				return
-			}
-			for hop := range st.lastHops {
+		snap.prt.MatchSymPathAttrs(path, attrs[i], func(n *subtree.Node) {
+			for _, hop := range snapshotNodeHops(n) {
 				if hop != from {
 					hops[hop] = true
 				}
@@ -777,7 +808,7 @@ func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
 		now := time.Now().UnixNano()
 		hopList := make([]trace.Hop, 0, len(m.Hops)+1)
 		hopList = append(hopList, m.Hops...)
-		hopList = append(hopList, trace.Hop{Broker: b.cfg.ID, UnixNano: now})
+		hopList = append(hopList, trace.Hop{Broker: b.cfg.ID, UnixNano: now, Epoch: snap.epoch})
 		cp := *m
 		cp.Hops = hopList
 		fwd = &cp
@@ -790,10 +821,10 @@ func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
 		}
 	}
 	for _, hop := range ordered {
-		if b.clients[hop] {
+		if snap.clients[hop] {
 			// Edge filtering: imperfect mergers must not leak false
 			// positives to clients.
-			if !b.matchesClient(hop, paths, attrs) {
+			if !snap.matchesClient(hop, paths, attrs) {
 				b.stats.falsePositives.Add(1)
 				if ev != nil {
 					ev.FilteredFor = append(ev.FilteredFor, hop)
@@ -810,17 +841,4 @@ func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
 		b.emit(hop, fwd)
 	}
 	return ev
-}
-
-func (b *Broker) matchesClient(client string, paths [][]string, attrs [][]map[string]string) bool {
-	tree := b.clientSubs[client]
-	if tree == nil {
-		return false
-	}
-	for i, path := range paths {
-		if tree.MatchPathAnyAttrs(path, attrs[i]) {
-			return true
-		}
-	}
-	return false
 }

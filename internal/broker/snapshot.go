@@ -1,0 +1,151 @@
+package broker
+
+import (
+	"repro/internal/subtree"
+	"repro/internal/symtab"
+)
+
+// routeSnapshot is the immutable routing state the publish data plane reads.
+// The control plane mutates the broker's master tables under the exclusive
+// lock and, before releasing it, publishes a fresh snapshot through an
+// atomic pointer; Publish loads the pointer once and matches against a
+// consistent view without acquiring any mutex. Components a control change
+// did not touch are aliased from the previous snapshot — every component is
+// immutable once published, so aliasing is free and a snapshot swap costs
+// only the copies for what actually changed (copy-on-write).
+//
+// Snapshot PRT nodes carry the publish-plane projection of the routing
+// state: Node.Data holds the subscription's sorted last-hop list ([]string,
+// nil for stateless nodes) instead of the control plane's mutable *subState,
+// so matching iterates a slice instead of a map and never sees a map the
+// control plane might be writing.
+type routeSnapshot struct {
+	// epoch increments on every swap; 0 is the empty snapshot a new broker
+	// starts with. Metrics expose it and traced publications record the
+	// epoch they matched under.
+	epoch uint64
+	// prt is a deep copy of the subscription tree (see subtree.CloneWithData).
+	prt *subtree.Tree
+	// clients is the client-peer set.
+	clients map[string]bool
+	// clientSubs holds each client's original subscriptions for the edge
+	// delivery filter.
+	clientSubs map[string]*subtree.Tree
+	// srt is the advertisement table view (entries are immutable after
+	// insertion; the slice is copied on change).
+	srt []*advEntry
+}
+
+// emptySnapshot is what a new broker publishes before any control traffic.
+func emptySnapshot() *routeSnapshot {
+	return &routeSnapshot{
+		prt:        subtree.New(),
+		clients:    map[string]bool{},
+		clientSubs: map[string]*subtree.Tree{},
+	}
+}
+
+// snapDirty records which master tables a control message touched, so
+// publishSnapshot copies only those.
+type snapDirty struct {
+	prt        bool
+	srt        bool
+	clients    bool
+	clientSubs map[string]bool // per-client filter trees
+}
+
+func (d *snapDirty) markClientSubs(id string) {
+	if d.clientSubs == nil {
+		d.clientSubs = make(map[string]bool)
+	}
+	d.clientSubs[id] = true
+}
+
+func (d *snapDirty) any() bool {
+	return d.prt || d.srt || d.clients || len(d.clientSubs) > 0
+}
+
+// publishSnapshot swaps in a new immutable snapshot reflecting the master
+// tables. It must run with b.mu held exclusively (it reads the mutable
+// tables) and is a no-op when the preceding handler changed nothing.
+func (b *Broker) publishSnapshot() {
+	if !b.dirty.any() {
+		return
+	}
+	old := b.snap.Load()
+	next := &routeSnapshot{
+		epoch:      old.epoch + 1,
+		prt:        old.prt,
+		clients:    old.clients,
+		clientSubs: old.clientSubs,
+		srt:        old.srt,
+	}
+	if b.dirty.prt {
+		next.prt = b.prt.CloneWithData(snapshotHops)
+	}
+	if b.dirty.srt {
+		next.srt = append([]*advEntry(nil), b.srt...)
+	}
+	if b.dirty.clients {
+		clients := make(map[string]bool, len(b.clients))
+		for id := range b.clients {
+			clients[id] = true
+		}
+		next.clients = clients
+	}
+	if len(b.dirty.clientSubs) > 0 {
+		subs := make(map[string]*subtree.Tree, len(b.clientSubs))
+		for id, t := range old.clientSubs {
+			subs[id] = t
+		}
+		for id := range b.dirty.clientSubs {
+			if t := b.clientSubs[id]; t != nil {
+				subs[id] = t.CloneWithData(nil)
+			} else {
+				delete(subs, id)
+			}
+		}
+		next.clientSubs = subs
+	}
+	b.dirty = snapDirty{}
+	b.snap.Store(next)
+}
+
+// snapshotHops projects a PRT node's routing state into the snapshot form:
+// the sorted last-hop slice, or nil for nodes without state.
+func snapshotHops(n *subtree.Node) any {
+	st := stateOf(n)
+	if st == nil || len(st.lastHops) == 0 {
+		return nil
+	}
+	return sortedKeys(st.lastHops)
+}
+
+// snapshotNodeHops reads the last-hop list of a snapshot PRT node.
+func snapshotNodeHops(n *subtree.Node) []string {
+	hops, _ := n.Data.([]string)
+	return hops
+}
+
+// matchesClient evaluates the edge delivery filter against the snapshot's
+// per-client subscription trees.
+func (s *routeSnapshot) matchesClient(client string, paths [][]symtab.Sym, attrs [][]map[string]string) bool {
+	tree := s.clientSubs[client]
+	if tree == nil {
+		return false
+	}
+	for i, path := range paths {
+		if tree.MatchSymPathAnyAttrs(path, attrs[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// SnapshotEpoch returns the current routing-snapshot epoch without taking
+// any lock. The epoch increments exactly when a control-plane change swaps
+// the publish view; a run of publications observing one epoch matched one
+// consistent routing table.
+func (b *Broker) SnapshotEpoch() uint64 {
+	return b.snap.Load().epoch
+}

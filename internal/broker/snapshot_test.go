@@ -1,0 +1,185 @@
+package broker
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// TestPublishIsLockFree pins the data-plane contract: matching and forwarding
+// a publication acquires no broker mutex. The test holds the control-plane
+// lock exclusively and requires a concurrent publication to complete anyway —
+// if handlePublish touched b.mu (as the pre-snapshot broker did with RLock),
+// the publish would block until the timeout.
+func TestPublishIsLockFree(t *testing.T) {
+	var mu sync.Mutex // guards delivered (the send callback's own state)
+	delivered := 0
+	b := New(Config{ID: "b1"}, func(to string, m *Message) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	b.AddClient("c1")
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/a/b")}, "c1")
+
+	b.mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		b.HandleMessage(&Message{Type: MsgPublish, Pub: xmldoc.Publication{Path: []string{"a", "b"}}}, "p1")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		b.mu.Unlock()
+		t.Fatal("publish blocked while the control-plane lock was held: data plane is not lock-free")
+	}
+	b.mu.Unlock()
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered != 1 {
+		t.Errorf("delivered %d publications under the held lock, want 1", delivered)
+	}
+}
+
+// TestSnapshotEpochSemantics pins when the epoch moves: every effective
+// control-plane change bumps it exactly once, while publications and no-op
+// control messages (flood duplicates, pure subscription repeats) leave it
+// unchanged.
+func TestSnapshotEpochSemantics(t *testing.T) {
+	b, _ := newTestBroker(Config{})
+	if got := b.SnapshotEpoch(); got != 0 {
+		t.Fatalf("fresh broker epoch = %d, want 0", got)
+	}
+
+	b.AddClient("c1")
+	afterClient := b.SnapshotEpoch()
+	if afterClient == 0 {
+		t.Error("AddClient did not bump the epoch")
+	}
+
+	b.HandleMessage(sub("/a/b"), "c1")
+	afterSub := b.SnapshotEpoch()
+	if afterSub <= afterClient {
+		t.Errorf("subscribe: epoch %d, want > %d", afterSub, afterClient)
+	}
+
+	// A pure repeat of the same subscription from the same peer changes no
+	// routing state and must not swap the snapshot.
+	b.HandleMessage(sub("/a/b"), "c1")
+	if got := b.SnapshotEpoch(); got != afterSub {
+		t.Errorf("duplicate subscribe bumped the epoch to %d", got)
+	}
+
+	// Publications are data plane: they never touch the snapshot.
+	for i := 0; i < 3; i++ {
+		b.HandleMessage(&Message{Type: MsgPublish, Pub: xmldoc.Publication{Path: []string{"a", "b"}}}, "p1")
+	}
+	if got := b.SnapshotEpoch(); got != afterSub {
+		t.Errorf("publishes bumped the epoch to %d", got)
+	}
+
+	b.HandleMessage(&Message{Type: MsgUnsubscribe, XPE: xpath.MustParse("/a/b")}, "c1")
+	if got := b.SnapshotEpoch(); got <= afterSub {
+		t.Errorf("unsubscribe: epoch %d, want > %d", got, afterSub)
+	}
+
+	// Unsubscribing an unknown expression is a no-op.
+	before := b.SnapshotEpoch()
+	b.HandleMessage(&Message{Type: MsgUnsubscribe, XPE: xpath.MustParse("/nope")}, "c1")
+	if got := b.SnapshotEpoch(); got != before {
+		t.Errorf("no-op unsubscribe bumped the epoch to %d", got)
+	}
+}
+
+// TestSnapshotEpochAdvertisements checks the SRT component: effective
+// advertisement changes bump the epoch, flood duplicates do not.
+func TestSnapshotEpochAdvertisements(t *testing.T) {
+	b, _ := newTestBroker(Config{UseAdvertisements: true})
+	b.AddNeighbor("b2")
+	b.AddNeighbor("b3")
+
+	b.HandleMessage(adv("a1", "/x/y"), "b2")
+	afterAdv := b.SnapshotEpoch()
+	if afterAdv == 0 {
+		t.Error("advertise did not bump the epoch")
+	}
+	b.HandleMessage(adv("a1", "/x/y"), "b3") // flooding duplicate
+	if got := b.SnapshotEpoch(); got != afterAdv {
+		t.Errorf("duplicate advertise bumped the epoch to %d", got)
+	}
+	b.HandleMessage(&Message{Type: MsgUnadvertise, AdvID: "a1"}, "b2")
+	if got := b.SnapshotEpoch(); got <= afterAdv {
+		t.Errorf("unadvertise: epoch %d, want > %d", got, afterAdv)
+	}
+}
+
+// TestTraceHopRecordsEpoch checks that traced publications carry the epoch
+// they matched under, and that the recorded epoch tracks control changes.
+func TestTraceHopRecordsEpoch(t *testing.T) {
+	ring := trace.NewRing(8)
+	b := New(Config{ID: "b1", TraceSink: ring}, func(string, *Message) {})
+	b.AddClient("c1")
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/a")}, "c1")
+	want := b.SnapshotEpoch()
+
+	publish := func(id string) trace.Hop {
+		t.Helper()
+		b.HandleMessage(&Message{
+			Type:    MsgPublish,
+			Pub:     xmldoc.Publication{Path: []string{"a"}},
+			TraceID: id,
+		}, "p1")
+		evs := ring.ByID(id)
+		if len(evs) != 1 {
+			t.Fatalf("ring has %d events for %s, want 1", len(evs), id)
+		}
+		hops := evs[0].Hops
+		if len(hops) != 1 {
+			t.Fatalf("hop list = %v, want exactly this broker", hops)
+		}
+		return hops[0]
+	}
+
+	if hop := publish("t1"); hop.Epoch != want {
+		t.Errorf("hop epoch = %d, want %d", hop.Epoch, want)
+	}
+	// A control change moves the epoch; the next traced publication records
+	// the new one.
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/a/b")}, "c1")
+	want2 := b.SnapshotEpoch()
+	if want2 <= want {
+		t.Fatalf("epoch did not advance: %d", want2)
+	}
+	if hop := publish("t2"); hop.Epoch != want2 {
+		t.Errorf("hop epoch after control change = %d, want %d", hop.Epoch, want2)
+	}
+}
+
+// TestSnapshotSeesControlChange checks the swap ordering: a publication
+// handled after HandleMessage returns for a subscribe/unsubscribe observes
+// that change (the snapshot is published before the control lock drops).
+func TestSnapshotSeesControlChange(t *testing.T) {
+	b, cap := newTestBroker(Config{})
+	b.AddClient("c1")
+	pub := &Message{Type: MsgPublish, Pub: xmldoc.Publication{Path: []string{"a", "b"}}}
+
+	b.HandleMessage(pub, "p1")
+	if got := cap.count(MsgPublish); got != 0 {
+		t.Fatalf("publish before subscribe delivered %d times", got)
+	}
+	b.HandleMessage(sub("/a/b"), "c1")
+	b.HandleMessage(pub, "p1")
+	if got := cap.count(MsgPublish); got != 1 {
+		t.Fatalf("publish after subscribe delivered %d times, want 1", got)
+	}
+	b.HandleMessage(&Message{Type: MsgUnsubscribe, XPE: xpath.MustParse("/a/b")}, "c1")
+	b.HandleMessage(pub, "p1")
+	if got := cap.count(MsgPublish); got != 1 {
+		t.Fatalf("publish after unsubscribe delivered %d times, want still 1", got)
+	}
+}

@@ -12,6 +12,7 @@
 package cover
 
 import (
+	"repro/internal/symtab"
 	"repro/internal/xpath"
 )
 
@@ -66,17 +67,18 @@ func necessary(s1, s2 *xpath.XPE) bool {
 	if s1.Len() > s2.Len() {
 		return false
 	}
+	a, b := s1.Syms(), s2.Syms()
 	j := 0
-	for _, st := range s1.Steps {
-		if st.IsWildcard() {
+	for _, sym := range a {
+		if sym == symtab.Wildcard {
 			continue
 		}
 		for {
-			if j == len(s2.Steps) {
+			if j == len(b) {
 				return false
 			}
 			j++
-			if s2.Steps[j-1].Name == st.Name {
+			if b[j-1] == sym {
 				break
 			}
 		}
@@ -91,8 +93,9 @@ func AbsSimCov(s1, s2 *xpath.XPE) bool {
 	if s1.Len() > s2.Len() {
 		return false
 	}
+	a, b := s1.Syms(), s2.Syms()
 	for i, st := range s1.Steps {
-		if !xpath.StepCovers(st, s2.Steps[i]) {
+		if !xpath.StepCoversSym(a[i], b[i], st, s2.Steps[i]) {
 			return false
 		}
 	}
@@ -109,17 +112,18 @@ func RelSimCov(s1, s2 *xpath.XPE) bool {
 	if k > s2.Len() {
 		return false
 	}
+	a, b := s1.Syms(), s2.Syms()
 	for c := 0; c+k <= s2.Len(); c++ {
-		if relCovAt(s1, s2, c) {
+		if relCovAt(s1, s2, a, b, c) {
 			return true
 		}
 	}
 	return false
 }
 
-func relCovAt(s1, s2 *xpath.XPE, c int) bool {
+func relCovAt(s1, s2 *xpath.XPE, a, b []symtab.Sym, c int) bool {
 	for i, st := range s1.Steps {
-		if !xpath.StepCovers(st, s2.Steps[c+i]) {
+		if !xpath.StepCoversSym(a[i], b[c+i], st, s2.Steps[c+i]) {
 			return false
 		}
 	}

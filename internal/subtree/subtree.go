@@ -21,8 +21,9 @@
 // A Tree is not internally synchronised, but its operations divide into two
 // classes with a guaranteed contract:
 //
-//   - READ-ONLY: MatchPath, MatchPathAttrs, MatchPathAny, MatchPathAnyAttrs,
-//     Lookup, Size, Depth, Walk, Stats, TopLevel, Coverers, CoveredBy,
+//   - READ-ONLY: MatchPath, MatchPathAttrs, MatchSymPath, MatchSymPathAttrs,
+//     MatchPathAny, MatchPathAnyAttrs, MatchSymPathAnyAttrs, Lookup, Size,
+//     Depth, Walk, Stats, TopLevel, Coverers, CoveredBy, CloneWithData,
 //     IsCovered, IsCoveredBesides, String, and the Node accessors. These never mutate
 //     the tree (they may not even write transient scratch state into it) and
 //     are safe to run concurrently with each other. The broker's publication
@@ -43,6 +44,7 @@ import (
 	"strings"
 
 	"repro/internal/cover"
+	"repro/internal/symtab"
 	"repro/internal/xpath"
 )
 
@@ -297,14 +299,17 @@ func removeNode(s []*Node, n *Node) []*Node {
 	return s
 }
 
-// MatchPath invokes visit for every stored subscription matching the
-// publication path, pruning subtrees whose root fails to match. It is
-// read-only and safe for concurrent use with other readers (see the package
-// comment).
-func (t *Tree) MatchPath(path []string, visit func(*Node)) {
+// matchWalk is the single covering-pruned traversal behind every MatchPath*
+// variant: it invokes visit for every stored subscription whose expression
+// satisfies matches, skipping the entire subtree of any node that fails —
+// sound because a parent covers its subtree, so a publication outside
+// P(parent) cannot be in P(child). It is read-only (see the package
+// concurrency contract); the wrappers below differ only in the predicate
+// they close over.
+func (t *Tree) matchWalk(matches func(*xpath.XPE) bool, visit func(*Node)) {
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		if !n.XPE.MatchesPath(path) {
+		if !matches(n.XPE) {
 			return
 		}
 		visit(n)
@@ -315,6 +320,26 @@ func (t *Tree) MatchPath(path []string, visit func(*Node)) {
 	for _, c := range t.root.children {
 		walk(c)
 	}
+}
+
+// matchAny is the shared top-level scan behind the MatchPathAny* variants.
+// Because every node is covered by its top-level ancestor, only the top
+// level needs checking.
+func (t *Tree) matchAny(matches func(*xpath.XPE) bool) bool {
+	for _, c := range t.root.children {
+		if matches(c.XPE) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchPath invokes visit for every stored subscription matching the
+// publication path, pruning subtrees whose root fails to match. It is
+// read-only and safe for concurrent use with other readers (see the package
+// comment).
+func (t *Tree) MatchPath(path []string, visit func(*Node)) {
+	t.matchWalk(func(x *xpath.XPE) bool { return x.MatchesPath(path) }, visit)
 }
 
 // MatchPathAttrs is MatchPath with attribute predicates evaluated against
@@ -323,42 +348,36 @@ func (t *Tree) MatchPath(path []string, visit func(*Node)) {
 // publication its children admit. Like MatchPath it is read-only and safe
 // for concurrent use with other readers.
 func (t *Tree) MatchPathAttrs(path []string, attrs []map[string]string, visit func(*Node)) {
-	var walk func(n *Node)
-	walk = func(n *Node) {
-		if !n.XPE.MatchesPathAttrs(path, attrs) {
-			return
-		}
-		visit(n)
-		for _, c := range n.children {
-			walk(c)
-		}
-	}
-	for _, c := range t.root.children {
-		walk(c)
-	}
+	t.matchWalk(func(x *xpath.XPE) bool { return x.MatchesPathAttrs(path, attrs) }, visit)
+}
+
+// MatchSymPath is MatchPath over an interned publication path — the broker
+// data plane's representation. Read-only, like every Match* traversal.
+func (t *Tree) MatchSymPath(path []symtab.Sym, visit func(*Node)) {
+	t.matchWalk(func(x *xpath.XPE) bool { return x.MatchesSymPath(path) }, visit)
+}
+
+// MatchSymPathAttrs is MatchPathAttrs over an interned publication path.
+// Read-only, like every Match* traversal.
+func (t *Tree) MatchSymPathAttrs(path []symtab.Sym, attrs []map[string]string, visit func(*Node)) {
+	t.matchWalk(func(x *xpath.XPE) bool { return x.MatchesSymPathAttrs(path, attrs) }, visit)
 }
 
 // MatchPathAnyAttrs reports whether any stored subscription matches the
 // annotated path.
 func (t *Tree) MatchPathAnyAttrs(path []string, attrs []map[string]string) bool {
-	for _, c := range t.root.children {
-		if c.XPE.MatchesPathAttrs(path, attrs) {
-			return true
-		}
-	}
-	return false
+	return t.matchAny(func(x *xpath.XPE) bool { return x.MatchesPathAttrs(path, attrs) })
 }
 
 // MatchPathAny reports whether any stored subscription matches the path.
-// Because every node is covered by its top-level ancestor, only the top
-// level needs checking.
 func (t *Tree) MatchPathAny(path []string) bool {
-	for _, c := range t.root.children {
-		if c.XPE.MatchesPath(path) {
-			return true
-		}
-	}
-	return false
+	return t.matchAny(func(x *xpath.XPE) bool { return x.MatchesPath(path) })
+}
+
+// MatchSymPathAnyAttrs reports whether any stored subscription matches the
+// interned annotated path — the edge client filter's hot-path form.
+func (t *Tree) MatchSymPathAnyAttrs(path []symtab.Sym, attrs []map[string]string) bool {
+	return t.matchAny(func(x *xpath.XPE) bool { return x.MatchesSymPathAttrs(path, attrs) })
 }
 
 // TopLevel returns the maximal stored subscriptions (covered by nothing in
@@ -371,16 +390,62 @@ func (t *Tree) TopLevel() []*Node {
 
 // Walk visits every stored node in depth-first order.
 func (t *Tree) Walk(visit func(*Node)) {
-	var walk func(n *Node)
-	walk = func(n *Node) {
-		visit(n)
-		for _, c := range n.children {
-			walk(c)
+	t.matchWalk(func(*xpath.XPE) bool { return true }, visit)
+}
+
+// CloneWithData returns a deep structural copy of the tree: every node,
+// covering edge, super pointer, and the expression index are duplicated, so
+// subsequent mutations of the receiver never reach the copy. Node
+// expressions (*xpath.XPE) are shared — they are immutable once stored.
+// Each copied node's Data is produced by mapData from the original node
+// (nil mapData carries the Data values over unchanged), which lets the
+// broker translate its mutable per-node routing state into the immutable
+// form its publish snapshot wants. CloneWithData itself is read-only on the
+// receiver.
+func (t *Tree) CloneWithData(mapData func(*Node) any) *Tree {
+	clone := &Tree{root: &Node{}, size: t.size, index: make(map[string]*Node, len(t.index))}
+	mapped := make(map[*Node]*Node, len(t.index)+1)
+	mapped[t.root] = clone.root
+	var copyNode func(n *Node, parent *Node) *Node
+	copyNode = func(n *Node, parent *Node) *Node {
+		cp := &Node{XPE: n.XPE, parent: parent}
+		if mapData != nil {
+			cp.Data = mapData(n)
+		} else {
+			cp.Data = n.Data
 		}
+		mapped[n] = cp
+		if len(n.children) > 0 {
+			cp.children = make([]*Node, len(n.children))
+			for i, c := range n.children {
+				cp.children[i] = copyNode(c, cp)
+			}
+		}
+		clone.index[n.XPE.Key()] = cp
+		return cp
 	}
-	for _, c := range t.root.children {
-		walk(c)
+	clone.root.children = make([]*Node, len(t.root.children))
+	for i, c := range t.root.children {
+		clone.root.children[i] = copyNode(c, clone.root)
 	}
+	// Super pointers reference nodes anywhere in the tree; rewrite them once
+	// every node has its copy.
+	t.Walk(func(n *Node) {
+		cp := mapped[n]
+		if len(n.super) > 0 {
+			cp.super = make([]*Node, len(n.super))
+			for i, s := range n.super {
+				cp.super[i] = mapped[s]
+			}
+		}
+		if len(n.superRefs) > 0 {
+			cp.superRefs = make([]*Node, len(n.superRefs))
+			for i, s := range n.superRefs {
+				cp.superRefs[i] = mapped[s]
+			}
+		}
+	})
+	return clone
 }
 
 // Stats reports the covering structure's shape for observability: stored

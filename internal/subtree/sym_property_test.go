@@ -1,0 +1,165 @@
+package subtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dtddata"
+	"repro/internal/gen"
+	"repro/internal/symtab"
+	"repro/internal/xpath"
+)
+
+// TestSymPathMatchingEquivalentToStrings is the cross-representation
+// soundness test for symbol interning: on random subscription sets and
+// random document paths, the interned-symbol matchers must report exactly
+// the subscriptions the string matchers report — at the tree level (pruned
+// traversal) and at the single-expression level. Any divergence means the
+// Sym adapters changed matching semantics, which would silently misroute
+// publications.
+func TestSymPathMatchingEquivalentToStrings(t *testing.T) {
+	const (
+		trials   = 3
+		numXPEs  = 600
+		numPaths = 400
+	)
+	d := dtddata.NITF()
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			seed := int64(4000 + trial)
+			g := &gen.XPathGenerator{
+				DTD:        d,
+				Wildcard:   0.25,
+				Descendant: 0.15,
+				MaxLen:     10,
+				MinLen:     1,
+				Relative:   0.2,
+				Rand:       rand.New(rand.NewSource(seed)),
+			}
+			tree := New()
+			var exprs []*xpath.XPE
+			for len(exprs) < numXPEs {
+				x := g.Generate()
+				if tree.Lookup(x) != nil {
+					continue
+				}
+				tree.Insert(x)
+				exprs = append(exprs, x)
+			}
+
+			dg := gen.NewDocGenerator(d, seed+1)
+			dg.AvgRepeat = 1.5
+			checked := 0
+			for checked < numPaths {
+				doc := dg.Generate()
+				paths := doc.Paths()
+				symPaths := doc.SymPaths()
+				if len(symPaths) != len(paths) {
+					t.Fatalf("SymPaths returned %d paths, Paths %d", len(symPaths), len(paths))
+				}
+				for pi, path := range paths {
+					if checked == numPaths {
+						break
+					}
+					checked++
+					syms := symPaths[pi]
+
+					got := symMatchedKeys(tree, syms)
+					want := matchedKeys(tree, path)
+					if !equalKeys(got, want) {
+						t.Fatalf("path /%v: sym matcher found %d, string matcher %d\nsym-only: %v\nstring-only: %v",
+							path, len(got), len(want), diff(got, want), diff(want, got))
+					}
+
+					// Single-expression adapters must agree too (the tree
+					// walk prunes, so it exercises different code paths).
+					for _, x := range exprs[:20] {
+						if x.MatchesSymPath(syms) != x.MatchesPath(path) {
+							t.Fatalf("XPE %s path /%v: MatchesSymPath = %v, MatchesPath = %v",
+								x, path, x.MatchesSymPath(syms), x.MatchesPath(path))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSymPathAttrsMatchingEquivalentToStrings repeats the cross-validation
+// for the predicate-aware matchers with random per-element attributes.
+func TestSymPathAttrsMatchingEquivalentToStrings(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	tree := New()
+	attrsOf := []string{"lang", "type", "v"}
+	vals := []string{"a", "b", "c"}
+	names := []string{"x", "y", "z", "w"}
+	var exprs []*xpath.XPE
+	for len(exprs) < 600 {
+		n := 1 + r.Intn(4)
+		steps := make([]xpath.Step, n)
+		for i := range steps {
+			axis := xpath.Child
+			if r.Float64() < 0.2 {
+				axis = xpath.Descendant
+			}
+			name := names[r.Intn(len(names))]
+			if r.Float64() < 0.2 {
+				name = xpath.Wildcard
+			}
+			var preds []xpath.Pred
+			if r.Float64() < 0.4 {
+				preds = append(preds, xpath.Pred{Attr: attrsOf[r.Intn(len(attrsOf))], Value: vals[r.Intn(len(vals))]})
+			}
+			steps[i] = xpath.Step{Axis: axis, Name: name, Preds: xpath.EncodePreds(preds)}
+		}
+		x := xpath.New(r.Float64() < 0.3, steps...)
+		if tree.Lookup(x) != nil {
+			continue
+		}
+		tree.Insert(x)
+		exprs = append(exprs, x)
+	}
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + r.Intn(6)
+		path := make([]string, n)
+		attrs := make([]map[string]string, n)
+		for i := range path {
+			path[i] = names[r.Intn(len(names))]
+			if r.Float64() < 0.6 {
+				attrs[i] = map[string]string{attrsOf[r.Intn(len(attrsOf))]: vals[r.Intn(len(vals))]}
+			}
+		}
+		syms := symtab.InternPath(path)
+		var got, want []string
+		tree.MatchSymPathAttrs(syms, attrs, func(n *Node) { got = append(got, n.XPE.Key()) })
+		tree.MatchPathAttrs(path, attrs, func(n *Node) { want = append(want, n.XPE.Key()) })
+		sort.Strings(got)
+		sort.Strings(want)
+		if !equalKeys(got, want) {
+			t.Fatalf("path %v attrs %v: sym %d vs string %d matches\nsym-only: %v\nstring-only: %v",
+				path, attrs, len(got), len(want), diff(got, want), diff(want, got))
+		}
+		if tree.MatchSymPathAnyAttrs(syms, attrs) != (len(want) > 0) {
+			t.Fatalf("path %v: MatchSymPathAnyAttrs = %v but %d matches stored",
+				path, tree.MatchSymPathAnyAttrs(syms, attrs), len(want))
+		}
+		for _, x := range exprs[:20] {
+			if x.MatchesSymPathAttrs(syms, attrs) != x.MatchesPathAttrs(path, attrs) {
+				t.Fatalf("XPE %s path %v attrs %v: sym = %v, string = %v",
+					x, path, attrs, x.MatchesSymPathAttrs(syms, attrs), x.MatchesPathAttrs(path, attrs))
+			}
+		}
+	}
+}
+
+// symMatchedKeys collects the canonical keys of all subscriptions the tree
+// reports for an interned path, sorted.
+func symMatchedKeys(tree *Tree, path []symtab.Sym) []string {
+	var keys []string
+	tree.MatchSymPath(path, func(n *Node) { keys = append(keys, n.XPE.Key()) })
+	sort.Strings(keys)
+	return keys
+}

@@ -23,6 +23,11 @@ type Hop struct {
 	Broker string `json:"broker"`
 	// UnixNano is the broker's wall clock when it matched the publication.
 	UnixNano int64 `json:"unix_nano"`
+	// Epoch is the broker's routing-snapshot epoch the publication was
+	// matched under (0 when the broker predates snapshot routing). Two
+	// traced publications crossing one broker with different epochs
+	// bracketed a control-plane change.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Event is one broker's record of one traced publication passing through.

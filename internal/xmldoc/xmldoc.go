@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/symtab"
 )
 
 // Elem is a node of the element tree.
@@ -234,6 +236,30 @@ func (d *Document) AnnotatedPaths() ([][]string, [][]map[string]string) {
 	return paths, attrs
 }
 
+// SymPaths returns the document's root-to-leaf paths interned against the
+// shared symbol table — the representation the brokers match. Element names
+// are interned (not merely looked up) so a document introduces its alphabet
+// exactly once; repeat documents convert with lock-free reads only.
+func (d *Document) SymPaths() [][]symtab.Sym {
+	paths := d.Paths()
+	out := make([][]symtab.Sym, len(paths))
+	for i, p := range paths {
+		out[i] = symtab.InternPath(p)
+	}
+	return out
+}
+
+// AnnotatedSymPaths is AnnotatedPaths with the element-name paths interned;
+// the attribute maps are shared with the string form.
+func (d *Document) AnnotatedSymPaths() ([][]symtab.Sym, [][]map[string]string) {
+	paths, attrs := d.AnnotatedPaths()
+	out := make([][]symtab.Sym, len(paths))
+	for i, p := range paths {
+		out[i] = symtab.InternPath(p)
+	}
+	return out, attrs
+}
+
 // Depth returns the maximum element nesting depth (the root counts as 1).
 func (d *Document) Depth() int {
 	var depth func(e *Elem) int
@@ -270,6 +296,11 @@ type Publication struct {
 	DocID  uint64
 	PathID int
 	Path   []string
+	// SymPath is Path interned against the shared symbol table, filled by
+	// Extract so every broker hop matches symbols without re-converting.
+	// Nil is allowed (hand-built publications); brokers then intern Path on
+	// arrival.
+	SymPath []symtab.Sym
 	// Attrs holds each path element's attributes (nil entries for
 	// attribute-less elements; a nil slice means no attributes anywhere).
 	// Subscriptions with attribute predicates are evaluated against it.
@@ -286,7 +317,7 @@ func Extract(d *Document, docID uint64) []Publication {
 	paths, attrs := d.AnnotatedPaths()
 	pubs := make([]Publication, len(paths))
 	for i, p := range paths {
-		pubs[i] = Publication{DocID: docID, PathID: i, Path: p, Attrs: attrs[i]}
+		pubs[i] = Publication{DocID: docID, PathID: i, Path: p, SymPath: symtab.InternPath(p), Attrs: attrs[i]}
 	}
 	return pubs
 }

@@ -66,6 +66,26 @@ func DecodePreds(encoded string) []Pred {
 	return preds
 }
 
+// canonicalPreds re-encodes a predicate string in canonical (sorted) order.
+// Parser- and EncodePreds-produced strings are already canonical and come
+// back unchanged; a hand-built unsorted encoding is normalised so Key() is
+// stable under predicate order. Strings that do not parse as predicates are
+// returned verbatim (they can only come from hand-built steps, and keeping
+// them distinct is the safe choice).
+func canonicalPreds(encoded string) string {
+	if encoded == "" {
+		return ""
+	}
+	preds := DecodePreds(encoded)
+	if preds == nil {
+		return encoded
+	}
+	if canonical := EncodePreds(preds); canonical != encoded {
+		return canonical
+	}
+	return encoded
+}
+
 // HasPredicates reports whether any step carries attribute predicates.
 func (x *XPE) HasPredicates() bool {
 	for _, s := range x.Steps {

@@ -124,3 +124,38 @@ func TestPredicateRoundTripThroughString(t *testing.T) {
 		t.Error("re-parse changed expression")
 	}
 }
+
+// TestKeyStableUnderPredicateOrder pins the regression where two hand-built
+// steps listing the same predicates in different orders produced different
+// Key() renderings, letting one logical subscription occupy two routing-table
+// slots. Key must canonicalise predicate order; inequivalent predicate sets
+// must still yield distinct keys.
+func TestKeyStableUnderPredicateOrder(t *testing.T) {
+	mk := func(preds string) *XPE {
+		return &XPE{Steps: []Step{
+			{Axis: Child, Name: "a"},
+			{Axis: Child, Name: "b", Preds: preds},
+		}}
+	}
+	sorted := mk(`[@m='1'][@n='2']`)
+	reversed := mk(`[@n='2'][@m='1']`)
+	if sorted.Key() != reversed.Key() {
+		t.Errorf("Key differs under predicate order: %q vs %q", sorted.Key(), reversed.Key())
+	}
+	// The canonical form matches what the parser would have produced.
+	parsed := MustParse(`/a/b[@m='1'][@n='2']`)
+	if reversed.Key() != parsed.Key() {
+		t.Errorf("hand-built key %q != parsed key %q", reversed.Key(), parsed.Key())
+	}
+	// Same attributes, different values: still distinct subscriptions.
+	other := mk(`[@m='2'][@n='1']`)
+	if other.Key() == sorted.Key() {
+		t.Errorf("distinct predicate sets collide on key %q", other.Key())
+	}
+	// A Preds string that does not parse as predicates is kept verbatim
+	// rather than silently dropped or merged.
+	junk := mk(`[not-a-pred`)
+	if junk.Key() == mk("").Key() {
+		t.Error("malformed predicate encoding vanished from the key")
+	}
+}

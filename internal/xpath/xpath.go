@@ -64,6 +64,11 @@ type XPE struct {
 	// yields {Child, "a"} and "//a" yields {Descendant, "a"}. For a relative
 	// expression, Steps[0].Axis is always Child.
 	Steps []Step
+
+	// syms caches the interned form of the step name tests (see Syms). It is
+	// populated lazily and atomically, so concurrent matchers share one
+	// compilation. Steps must not be mutated after the first Syms call.
+	syms symsView
 }
 
 // New constructs an XPE from explicit steps. It does not validate names.
@@ -145,9 +150,26 @@ func (x *XPE) String() string {
 	return b.String()
 }
 
-// Key returns a canonical map key for the expression. It is the same as
-// String; it exists to make call sites self-documenting.
-func (x *XPE) Key() string { return x.String() }
+// Key returns a canonical map key for the expression: the String rendering
+// with every step's predicates in canonical (sorted) order. Parsed
+// expressions already store canonical predicate encodings, so for them Key
+// equals String; hand-built steps whose Preds list the same predicates in a
+// different order still produce the same Key, so routing tables never store
+// one logical subscription twice.
+func (x *XPE) Key() string {
+	var b strings.Builder
+	for i, s := range x.Steps {
+		switch {
+		case i == 0 && x.Relative:
+			// A relative expression has no leading operator.
+		default:
+			b.WriteString(s.Axis.String())
+		}
+		b.WriteString(s.Name)
+		b.WriteString(canonicalPreds(s.Preds))
+	}
+	return b.String()
+}
 
 // Segment is a maximal run of steps connected only by "/" operators. The
 // covering and advertisement-matching algorithms decompose an XPE at its
