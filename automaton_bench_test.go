@@ -1,0 +1,63 @@
+package xmlrouter
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/dtddata"
+	"repro/internal/experiment"
+	"repro/internal/gen"
+	"repro/internal/xmldoc"
+)
+
+// BenchmarkAutomatonMatch isolates the effect of the shared path-matching
+// automaton (internal/pmatch, DESIGN.md §5c) on the publication data plane.
+// For each subscription-table size it routes the same publication stream
+// through two otherwise identical brokers: "treewalk" evaluates the covering
+// trees per publication (Config.DisableSharedNFA), "nfa" runs the shared
+// automaton compiled into the routing snapshot. The gap is the per-publication
+// matching cost the automaton removes; it widens with the table size because
+// the tree walk grows with the number of stored subscriptions while the NFA
+// run grows only with shared-prefix fan-out. EXPERIMENTS.md and
+// BENCH_pmatch.json record measured numbers.
+func BenchmarkAutomatonMatch(b *testing.B) {
+	dg := gen.NewDocGenerator(dtddata.NITF(), 6)
+	dg.AvgRepeat = 1.5
+	var pubs []xmldoc.Publication
+	for i := 0; i < 200; i++ {
+		doc := dg.Generate()
+		pubs = append(pubs, xmldoc.Extract(doc, uint64(i))...)
+	}
+
+	var delivered atomic.Int64
+	newBroker := func(n int, disableNFA bool) *broker.Broker {
+		set, err := experiment.BuildCoveringSet(dtddata.NITF(), n, 0.9, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		br := broker.New(broker.Config{ID: "b1", UseCovering: true, DisableSharedNFA: disableNFA},
+			func(to string, m *broker.Message) { delivered.Add(1) })
+		br.AddClient("sub")
+		for _, x := range set.XPEs {
+			br.HandleMessage(&broker.Message{Type: broker.MsgSubscribe, XPE: x}, "sub")
+		}
+		return br
+	}
+
+	for _, n := range []int{100, 1000, 10000} {
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"treewalk", true}, {"nfa", false}} {
+			b.Run(fmt.Sprintf("subs=%d/%s", n, mode.name), func(b *testing.B) {
+				br := newBroker(n, mode.disable)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					br.HandleMessage(&broker.Message{Type: broker.MsgPublish, Pub: pubs[i%len(pubs)]}, "producer")
+				}
+			})
+		}
+	}
+}

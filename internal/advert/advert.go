@@ -15,7 +15,7 @@ package advert
 import (
 	"fmt"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/xpath"
 )
@@ -70,18 +70,22 @@ func (c Class) String() string {
 // Advertisement is an absolute path pattern over element names and
 // wildcards, with optional one-or-more groups.
 //
-// Advertisements must be treated as immutable once they are matched for the
-// first time: the compiled automaton is cached on first use.
+// The package constructors (NewAdvertisement, FromPath, Parse, Clone, and
+// the DTD generator) compile the matching automaton EAGERLY, which interns
+// the advertisement's element names at construction — control-plane time —
+// so the publish-path matchers never grow the shared symbol table (see
+// MatchesPath). A hand-built literal (&Advertisement{Items: ...}) still
+// works: its automaton is compiled atomically on first match. Either way an
+// Advertisement must be treated as immutable once constructed.
 type Advertisement struct {
 	Items []Item
 
-	nfaOnce   sync.Once
-	nfaCached *advNFA
+	nfaCached atomic.Pointer[advNFA]
 }
 
 // NewAdvertisement builds an advertisement from items.
 func NewAdvertisement(items ...Item) *Advertisement {
-	return &Advertisement{Items: items}
+	return compiled(&Advertisement{Items: items})
 }
 
 // FromPath builds a non-recursive advertisement from element names.
@@ -90,7 +94,13 @@ func FromPath(names ...string) *Advertisement {
 	for i, n := range names {
 		items[i] = Sym(n)
 	}
-	return &Advertisement{Items: items}
+	return compiled(&Advertisement{Items: items})
+}
+
+// compiled eagerly builds the advertisement's automaton and returns it.
+func compiled(a *Advertisement) *Advertisement {
+	a.nfaCached.Store(a.compileNFA())
+	return a
 }
 
 // Classify returns the advertisement's class.
@@ -209,7 +219,7 @@ func itemsEqual(x, y []Item) bool {
 
 // Clone returns a deep copy.
 func (a *Advertisement) Clone() *Advertisement {
-	return &Advertisement{Items: cloneItems(a.Items)}
+	return compiled(&Advertisement{Items: cloneItems(a.Items)})
 }
 
 func cloneItems(seq []Item) []Item {
@@ -251,7 +261,7 @@ func Parse(input string) (*Advertisement, error) {
 	if len(items) == 0 {
 		return nil, fmt.Errorf("advert: parse %q: empty advertisement", input)
 	}
-	return &Advertisement{Items: items}, nil
+	return compiled(&Advertisement{Items: items}), nil
 }
 
 // MustParse is Parse for statically known advertisements; it panics on error.

@@ -70,7 +70,9 @@ func (g *generator) emit() error {
 		return fmt.Errorf("%w (%d)", errLimit, g.limit)
 	}
 	g.seen[key] = true
-	g.results = append(g.results, adv)
+	// Compile eagerly only for advertisements actually kept; duplicates and
+	// over-limit candidates never pay for an automaton.
+	g.results = append(g.results, compiled(adv))
 	return nil
 }
 

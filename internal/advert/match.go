@@ -173,12 +173,16 @@ func findSegment(adv, seg []string, from int) int {
 // the advertisement's publication set, i.e. the path is an expansion of the
 // advertisement (wildcard tests match any element; every group repeats one
 // or more times; lengths must agree exactly). It is the string adapter over
-// MatchesSymPath; the path is interned (publication alphabets are bounded by
-// the DTDs in play, so the table stays small). Lookup would not be safe
-// here: the automaton's own edge names are interned lazily on first compile,
-// so a lookup-converted path could miss names the table is about to learn.
+// MatchesSymPath. The path is converted with Lookup, NOT Intern, so foreign
+// publication paths never grow the shared interner on the publish hot path:
+// the automaton is materialised first (package constructors compile it at
+// construction; nfa() covers hand-built literals), which guarantees every
+// edge name is already in the table — a path element Lookup maps to None
+// therefore provably differs from every concrete edge symbol and can only
+// be matched by wildcard edges, exactly the string semantics.
 func (a *Advertisement) MatchesPath(path []string) bool {
-	return a.MatchesSymPath(symtab.InternPath(path))
+	a.nfa() // edge names are interned no later than this
+	return a.MatchesSymPath(symtab.LookupPath(path))
 }
 
 // MatchesSymPath is MatchesPath over an interned path: the automaton's
@@ -251,10 +255,19 @@ type advNFA struct {
 }
 
 // nfa returns the advertisement's automaton, whose language is exactly its
-// expansion set; it is compiled on first use and cached.
+// expansion set. Constructor-built advertisements compiled it eagerly;
+// hand-built literals compile here on first use, atomically — racing
+// callers compile equivalent automata and one wins the CAS, so a caller
+// never observes a partially built automaton.
 func (a *Advertisement) nfa() *advNFA {
-	a.nfaOnce.Do(func() { a.nfaCached = a.compileNFA() })
-	return a.nfaCached
+	if n := a.nfaCached.Load(); n != nil {
+		return n
+	}
+	n := a.compileNFA()
+	if a.nfaCached.CompareAndSwap(nil, n) {
+		return n
+	}
+	return a.nfaCached.Load()
 }
 
 // compileNFA builds the automaton: one state per symbol plus a private entry

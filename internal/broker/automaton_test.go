@@ -1,0 +1,175 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// pub builds a test publication with per-element attributes.
+func pub(path []string, attrs []map[string]string, id int) xmldoc.Publication {
+	return xmldoc.Publication{DocID: uint64(id), Path: path, Attrs: attrs}
+}
+
+// sink records every (to, publication) pair a broker emits, safe for
+// concurrent sends.
+type sink struct {
+	mu   sync.Mutex
+	sent []string
+}
+
+func (s *sink) send(to string, m *Message) {
+	if m.Type != MsgPublish {
+		return
+	}
+	s.mu.Lock()
+	s.sent = append(s.sent, to+"<-"+m.Pub.String())
+	s.mu.Unlock()
+}
+
+func (s *sink) sorted() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.sent...)
+	sort.Strings(out)
+	return out
+}
+
+// randomWorkloadXPE mirrors the pmatch property generator but over a
+// broker-sized alphabet, including predicates.
+func randomWorkloadXPE(r *rand.Rand) *xpath.XPE {
+	alpha := []string{"a", "b", "c", "d"}
+	n := 1 + r.Intn(4)
+	steps := make([]xpath.Step, n)
+	for i := range steps {
+		axis := xpath.Child
+		if i > 0 && r.Intn(3) == 0 {
+			axis = xpath.Descendant
+		}
+		name := alpha[r.Intn(len(alpha))]
+		if r.Intn(6) == 0 {
+			name = xpath.Wildcard
+		}
+		var preds string
+		if r.Intn(7) == 0 {
+			preds = xpath.EncodePreds([]xpath.Pred{{Attr: "k", Value: alpha[r.Intn(2)]}})
+		}
+		steps[i] = xpath.Step{Axis: axis, Name: name, Preds: preds}
+	}
+	return xpath.New(r.Intn(4) == 0, steps...)
+}
+
+// TestAutomatonRoutesLikeTreeWalk drives two brokers — shared NFA on
+// (default) and off (fallback) — through identical random control and
+// publication sequences and requires byte-identical forwarding and
+// delivery. This is the broker-level equivalence contract on top of
+// pmatch's own property tests.
+func TestAutomatonRoutesLikeTreeWalk(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			run := func(disable bool) ([]string, Stats) {
+				r := rand.New(rand.NewSource(seed))
+				s := &sink{}
+				b := New(Config{ID: "b1", UseCovering: true, DisableSharedNFA: disable}, s.send)
+				b.AddNeighbor("n1")
+				b.AddNeighbor("n2")
+				b.AddClient("c1")
+				b.AddClient("c2")
+				peers := []string{"n1", "n2", "c1", "c2"}
+				var subs []*xpath.XPE
+				for i := 0; i < 300; i++ {
+					switch op := r.Intn(10); {
+					case op < 4: // subscribe
+						x := randomWorkloadXPE(r)
+						subs = append(subs, x)
+						b.HandleMessage(&Message{Type: MsgSubscribe, XPE: x}, peers[r.Intn(len(peers))])
+					case op < 5 && len(subs) > 0: // unsubscribe
+						b.HandleMessage(&Message{Type: MsgUnsubscribe, XPE: subs[r.Intn(len(subs))]}, peers[r.Intn(len(peers))])
+					default: // publish
+						alpha := []string{"a", "b", "c", "d", "zz"}
+						n := 1 + r.Intn(5)
+						path := make([]string, n)
+						attrs := make([]map[string]string, n)
+						for j := range path {
+							path[j] = alpha[r.Intn(len(alpha))]
+							if r.Intn(3) == 0 {
+								attrs[j] = map[string]string{"k": alpha[r.Intn(2)]}
+							}
+						}
+						b.HandleMessage(&Message{Type: MsgPublish, Pub: pub(path, attrs, r.Int())}, "producer")
+					}
+				}
+				return s.sorted(), b.Stats()
+			}
+			gotNFA, statsNFA := run(false)
+			gotTree, statsTree := run(true)
+			if !reflect.DeepEqual(gotNFA, gotTree) {
+				t.Fatalf("forwarding diverged:\nnfa:  %v\ntree: %v", gotNFA, gotTree)
+			}
+			if statsNFA.Deliveries != statsTree.Deliveries || statsNFA.FalsePositives != statsTree.FalsePositives {
+				t.Fatalf("stats diverged: nfa=%+v tree=%+v", statsNFA, statsTree)
+			}
+		})
+	}
+}
+
+// TestAutomatonRebuildTracksControlPlane pins the copy-on-write lifecycle:
+// the automaton is absent on an empty broker, grows with subscriptions,
+// shrinks on unsubscribe, and is not recompiled by control changes that
+// touch neither the PRT nor a client filter tree.
+func TestAutomatonRebuildTracksControlPlane(t *testing.T) {
+	b := New(Config{ID: "b1", UseCovering: true}, func(string, *Message) {})
+	if s := b.NFAStats(); s.Entries != 0 {
+		t.Fatalf("empty broker: %+v", s)
+	}
+	b.AddClient("c1")
+	x1, x2 := xpath.MustParse("/a/b"), xpath.MustParse("/a//c")
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: x1}, "c1")
+	// PRT node + client filter node.
+	if s := b.NFAStats(); s.Entries != 2 {
+		t.Fatalf("after one client subscription: %+v", s)
+	}
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: x2}, "peer")
+	if s := b.NFAStats(); s.Entries != 3 {
+		t.Fatalf("after peer subscription: %+v", s)
+	}
+	before := b.SnapshotEpoch()
+	// A duplicate subscription from the same peer changes nothing: no new
+	// snapshot, same automaton.
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: x2}, "peer")
+	if b.SnapshotEpoch() != before {
+		t.Fatal("no-op control change must not swap the snapshot")
+	}
+	b.HandleMessage(&Message{Type: MsgUnsubscribe, XPE: x2}, "peer")
+	if s := b.NFAStats(); s.Entries != 2 {
+		t.Fatalf("after unsubscribe: %+v", s)
+	}
+}
+
+// TestDisableSharedNFAFallback exercises the tree-walk fallback end to end:
+// with the automaton off, the snapshot carries none and routing still
+// works, including the edge client filter.
+func TestDisableSharedNFAFallback(t *testing.T) {
+	s := &sink{}
+	b := New(Config{ID: "b1", UseCovering: true, DisableSharedNFA: true}, s.send)
+	b.AddClient("c1")
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/a//b")}, "c1")
+	if st := b.NFAStats(); st.States != 0 {
+		t.Fatalf("automaton must be absent when disabled: %+v", st)
+	}
+	b.HandleMessage(&Message{Type: MsgPublish, Pub: pub([]string{"a", "x", "b"}, nil, 1)}, "producer")
+	b.HandleMessage(&Message{Type: MsgPublish, Pub: pub([]string{"a", "x"}, nil, 2)}, "producer")
+	if got := s.sorted(); len(got) != 1 {
+		t.Fatalf("want exactly the matching publication delivered, got %v", got)
+	}
+	if st := b.Stats(); st.Deliveries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}

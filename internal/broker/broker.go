@@ -67,6 +67,13 @@ type Config struct {
 	// (default 64).
 	MergeEvery int
 
+	// DisableSharedNFA turns off the shared path-matching automaton and
+	// routes publications by walking the covering tree per subscription, as
+	// earlier versions did. The automaton is the default because one NFA
+	// run per publication replaces O(subscriptions) per-XPE evaluations;
+	// the flag exists as the ablation baseline and as an escape hatch.
+	DisableSharedNFA bool
+
 	// Metrics, when non-nil, receives the broker's instruments: the
 	// match-latency histogram (labelled by routing strategy) plus
 	// func-backed counters and gauges reading the broker's existing
@@ -175,6 +182,9 @@ type Broker struct {
 	// matchSeconds is the pre-resolved match-latency histogram (nil when
 	// Config.Metrics is nil), so the hot path never touches the registry.
 	matchSeconds *metrics.Histogram
+	// nfaBuildSeconds times shared-automaton recompilation at snapshot
+	// publication (control-plane time; nil when Config.Metrics is nil).
+	nfaBuildSeconds *metrics.Histogram
 }
 
 type advEntry struct {
@@ -262,6 +272,18 @@ func (b *Broker) registerMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("xbroker_snapshot_epoch",
 		"Routing-snapshot epoch: increments each time a control-plane change swaps the publish view.",
 		func() float64 { return float64(b.SnapshotEpoch()) })
+	b.nfaBuildSeconds = reg.Histogram("xbroker_nfa_build_seconds",
+		"Shared matching-automaton compile time at snapshot publication.",
+		metrics.DefBuckets)
+	reg.GaugeFunc("xbroker_nfa_states",
+		"States in the shared path-matching automaton of the current snapshot.",
+		func() float64 { return float64(b.NFAStats().States) })
+	reg.GaugeFunc("xbroker_nfa_edges",
+		"Transitions (symbol, wildcard, self-loop, and epsilon) in the shared matching automaton.",
+		func() float64 { return float64(b.NFAStats().Edges) })
+	reg.GaugeFunc("xbroker_nfa_entries",
+		"Expressions compiled into the shared matching automaton (PRT last-hop nodes plus client filter entries).",
+		func() float64 { return float64(b.NFAStats().Entries) })
 }
 
 // ID returns the broker's identifier.
@@ -754,13 +776,16 @@ func (b *Broker) runMergePass() {
 
 // handlePublish matches one publication and forwards it. It is the lock-free
 // data plane: it loads the routing snapshot once and reads only that
-// immutable view (snapshot PRT, client set, per-client filter trees) plus
-// atomic counters — zero mutex acquisitions, so publications never contend
-// with each other or with control-plane updates. Publication paths are
-// matched in interned symbol form; a publication carrying no pre-interned
-// path (hand-built, or a whole document) is converted on arrival. For traced
-// publications it returns the hop event for the caller to record; untraced
-// traffic returns nil.
+// immutable view plus atomic counters — zero mutex acquisitions, so
+// publications never contend with each other or with control-plane updates.
+// Matching is one shared-automaton run per publication sym-path (the
+// snapshot's pmatch NFA covers the PRT's last-hop entries and every client
+// filter expression; see DESIGN.md §5c), falling back to the per-
+// subscription covering tree walk when the automaton is absent. Publication
+// paths are matched in interned symbol form; a publication carrying no
+// pre-interned path (hand-built, or a whole document) is converted on
+// arrival. For traced publications it returns the hop event for the caller
+// to record; untraced traffic returns nil.
 func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
 	snap := b.snap.Load()
 	var start time.Time
@@ -779,17 +804,42 @@ func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
 		paths = [][]symtab.Sym{sp}
 		attrs = [][]map[string]string{m.Pub.Attrs}
 	}
-	// Collect next hops from all matching subscriptions with covering-
-	// pruned tree traversal; attribute predicates are evaluated in-network.
+	// Collect next hops from all matching subscriptions — one shared-NFA
+	// run per path when the snapshot carries the automaton (the default),
+	// else the covering-pruned tree traversal. The same run also computes
+	// the per-client edge-filter verdicts (clientMatch payloads), so
+	// delivery filtering below re-matches nothing. Attribute predicates are
+	// evaluated in-network either way.
 	hops := make(map[string]bool)
-	for i, path := range paths {
-		snap.prt.MatchSymPathAttrs(path, attrs[i], func(n *subtree.Node) {
-			for _, hop := range snapshotNodeHops(n) {
-				if hop != from {
-					hops[hop] = true
+	var matchedClients map[string]bool
+	if snap.auto != nil {
+		for i, path := range paths {
+			snap.auto.Match(path, attrs[i], func(data any) {
+				switch v := data.(type) {
+				case []string:
+					for _, hop := range v {
+						if hop != from {
+							hops[hop] = true
+						}
+					}
+				case clientMatch:
+					if matchedClients == nil {
+						matchedClients = make(map[string]bool)
+					}
+					matchedClients[string(v)] = true
 				}
-			}
-		})
+			})
+		}
+	} else {
+		for i, path := range paths {
+			snap.prt.MatchSymPathAttrs(path, attrs[i], func(n *subtree.Node) {
+				for _, hop := range snapshotNodeHops(n) {
+					if hop != from {
+						hops[hop] = true
+					}
+				}
+			})
+		}
 	}
 	if b.matchSeconds != nil {
 		b.matchSeconds.Observe(time.Since(start).Seconds())
@@ -823,8 +873,13 @@ func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
 	for _, hop := range ordered {
 		if snap.clients[hop] {
 			// Edge filtering: imperfect mergers must not leak false
-			// positives to clients.
-			if !snap.matchesClient(hop, paths, attrs) {
+			// positives to clients. With the automaton the verdict was
+			// computed in the same run that produced the hop set.
+			passes := matchedClients[hop]
+			if snap.auto == nil {
+				passes = snap.matchesClient(hop, paths, attrs)
+			}
+			if !passes {
 				b.stats.falsePositives.Add(1)
 				if ev != nil {
 					ev.FilteredFor = append(ev.FilteredFor, hop)

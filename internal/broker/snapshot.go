@@ -1,6 +1,9 @@
 package broker
 
 import (
+	"time"
+
+	"repro/internal/pmatch"
 	"repro/internal/subtree"
 	"repro/internal/symtab"
 )
@@ -34,7 +37,21 @@ type routeSnapshot struct {
 	// srt is the advertisement table view (entries are immutable after
 	// insertion; the slice is copied on change).
 	srt []*advEntry
+	// auto is the shared path-matching automaton compiled from this
+	// snapshot's PRT (payload: sorted last-hop slices) and per-client filter
+	// trees (payload: clientMatch keys). handlePublish does ONE automaton
+	// run per publication sym-path instead of walking every
+	// subscription-tree node. Nil when the broker disables the shared NFA
+	// (Config.DisableSharedNFA) or before any subscription arrives with the
+	// empty snapshot — the publish path then falls back to the covering
+	// tree walk.
+	auto *pmatch.Automaton
 }
+
+// clientMatch is the automaton payload type of a per-client filter-tree
+// entry: the client's peer ID. Distinguished from PRT payloads ([]string
+// last-hop slices) by type in handlePublish's single type switch.
+type clientMatch string
 
 // emptySnapshot is what a new broker publishes before any control traffic.
 func emptySnapshot() *routeSnapshot {
@@ -107,8 +124,42 @@ func (b *Broker) publishSnapshot() {
 		}
 		next.clientSubs = subs
 	}
+	// Recompile the shared matching automaton only when a matched component
+	// changed; control messages touching neither (e.g. a pure client
+	// registration) alias the previous automaton like any other snapshot
+	// component.
+	next.auto = old.auto
+	if !b.cfg.DisableSharedNFA && (b.dirty.prt || len(b.dirty.clientSubs) > 0) {
+		var start time.Time
+		if b.nfaBuildSeconds != nil {
+			start = time.Now()
+		}
+		next.auto = buildRouteAutomaton(next.prt, next.clientSubs)
+		if b.nfaBuildSeconds != nil {
+			b.nfaBuildSeconds.Observe(time.Since(start).Seconds())
+		}
+	}
 	b.dirty = snapDirty{}
 	b.snap.Store(next)
+}
+
+// buildRouteAutomaton compiles one shared NFA covering every expression the
+// publish path consults: PRT nodes carrying last-hop state (their sorted
+// hop slice is the payload) and every client filter-tree node (the client
+// ID is the payload). Stateless PRT nodes — pure covering structure — admit
+// no routing decision and are left out.
+func buildRouteAutomaton(prt *subtree.Tree, clientSubs map[string]*subtree.Tree) *pmatch.Automaton {
+	bld := pmatch.NewBuilder()
+	prt.Walk(func(n *subtree.Node) {
+		if hops := snapshotNodeHops(n); len(hops) > 0 {
+			bld.Add(n.XPE, hops)
+		}
+	})
+	for id, t := range clientSubs {
+		key := clientMatch(id)
+		t.Walk(func(n *subtree.Node) { bld.Add(n.XPE, key) })
+	}
+	return bld.Build()
 }
 
 // snapshotHops projects a PRT node's routing state into the snapshot form:
@@ -148,4 +199,13 @@ func (s *routeSnapshot) matchesClient(client string, paths [][]symtab.Sym, attrs
 // consistent routing table.
 func (b *Broker) SnapshotEpoch() uint64 {
 	return b.snap.Load().epoch
+}
+
+// NFAStats measures the current snapshot's shared matching automaton
+// (zeroes when it is absent). Lock-free, like every snapshot reader.
+func (b *Broker) NFAStats() pmatch.Stats {
+	if a := b.snap.Load().auto; a != nil {
+		return a.Stats()
+	}
+	return pmatch.Stats{}
 }

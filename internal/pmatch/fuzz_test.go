@@ -1,0 +1,65 @@
+package pmatch
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/symtab"
+	"repro/internal/xpath"
+)
+
+// FuzzAutomatonEquivalence cross-checks the shared automaton's accept set
+// against flat per-XPE MatchesSymPath evaluation. The fuzzer supplies a
+// ';'-separated list of expressions and a '/'-separated publication path;
+// unparsable expressions are skipped, so any byte soup still exercises the
+// comparison. A mismatch would mean the shared automaton routes differently
+// from the per-subscription semantics — the one bug class this package must
+// never ship.
+func FuzzAutomatonEquivalence(f *testing.F) {
+	f.Add("/a/b;//c;a/*", "a/b/c")
+	f.Add("/a//b;b//c;//*", "a/x/b/c")
+	f.Add("*;/a;//a/a", "a/a/a")
+	f.Add("/a[@k='v']/b;a/b", "a/b")
+	f.Fuzz(func(t *testing.T, exprList, pathStr string) {
+		var xs []*xpath.XPE
+		b := NewBuilder()
+		for _, src := range strings.Split(exprList, ";") {
+			if len(src) > 80 {
+				continue // keep match cost bounded
+			}
+			x, err := xpath.Parse(src)
+			if err != nil {
+				continue
+			}
+			b.Add(x, len(xs))
+			xs = append(xs, x)
+		}
+		auto := b.Build()
+
+		var path []string
+		for _, el := range strings.Split(pathStr, "/") {
+			if el != "" {
+				path = append(path, el)
+			}
+			if len(path) >= 12 {
+				break
+			}
+		}
+		sp := symtab.InternPath(path)
+
+		var got []int
+		auto.MatchStructural(sp, func(d any) { got = append(got, d.(int)) })
+		sort.Ints(got)
+		var want []int
+		for i, x := range xs {
+			if x.MatchesSymPath(sp) {
+				want = append(want, i)
+			}
+		}
+		if !eqInts(got, want) {
+			t.Fatalf("accept sets diverge on path %q:\nautomaton=%v\nflat=%v\nexprs=%s",
+				path, got, want, dumpExprs(xs))
+		}
+	})
+}

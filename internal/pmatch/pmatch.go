@@ -1,0 +1,337 @@
+// Package pmatch implements a YFilter-style shared path-matching automaton:
+// every XPath expression (XPE) of a routing snapshot is compiled into ONE
+// nondeterministic finite automaton over the interned symbol alphabet
+// (symtab.Sym), so matching a publication path against N subscriptions costs
+// one automaton run instead of N per-expression evaluations.
+//
+// Structure sharing is what makes the shared automaton fast: expressions
+// with a common step prefix share the states and transitions of that prefix
+// ("/a/b/c" and "/a/b/d" diverge only at the last edge), so the work per
+// consumed path element is bounded by the number of DISTINCT live prefixes,
+// not by the number of subscriptions. The construction follows the classic
+// XML-filtering automata (YFilter; the FPGA filtering architecture in
+// PAPERS.md hardware-parallelises the same design):
+//
+//   - a "/name" step is a transition labelled with the step's interned
+//     symbol,
+//   - a "/*" step is a wildcard transition (matches every element,
+//     including elements outside the interned alphabet),
+//   - a "//" step becomes a skip state with a self-loop on any element,
+//     entered by an epsilon edge (resolved at activation time, never at
+//     runtime) and left by the step's name transition — zero-or-more skipped
+//     elements,
+//   - a relative expression is compiled as if its first step used "//":
+//     "a/b" may begin matching at any path position, which is exactly the
+//     language of "//a/b" under the system's prefix-match semantics.
+//
+// Acceptance mirrors XPE.MatchesSymPath: an expression selects a node as
+// soon as all its steps are consumed, so accept states report their entries
+// at EVERY path position reached, not only at the end of the path.
+//
+// Attribute predicates are not compiled into the automaton: an entry whose
+// expression carries predicates is structurally matched first and then
+// verified with XPE.MatchesSymPathAttrs as a post-filter, exactly once per
+// run. This keeps the automaton alphabet small and the transition tables
+// dense while preserving MatchesSymPathAttrs semantics bit for bit.
+//
+// # Concurrency
+//
+// An Automaton is immutable after Build and safe for any number of
+// concurrent Match calls: per-run scratch (active state sets and epoch
+// stamps) is pooled via sync.Pool, so steady-state matching allocates
+// nothing. The Builder is not safe for concurrent use.
+//
+// Symbols are interned against symtab.Default (via XPE.Syms); an automaton
+// must be matched against paths interned into the same table.
+package pmatch
+
+import (
+	"sync"
+
+	"repro/internal/symtab"
+	"repro/internal/xpath"
+)
+
+// noEdge marks an absent wild/dslash/skip transition.
+const noEdge = int32(-1)
+
+// state is one automaton state. Transition lookup is hash-indexed: next maps
+// a concrete interned symbol to the target state; wild is the target of the
+// wildcard transition (taken on every element); dslash is the skip state
+// entered by epsilon when this state activates (for a following "//" step).
+// Skip states carry selfLoop=true: once active they stay active, consuming
+// any element.
+type state struct {
+	next     map[symtab.Sym]int32
+	wild     int32
+	dslash   int32
+	selfLoop bool
+	// accept lists the entries whose final step lands on this state.
+	accept []int32
+}
+
+// entry is one compiled expression with its caller payload.
+type entry struct {
+	x        *xpath.XPE
+	data     any
+	hasPreds bool
+}
+
+// Automaton is the compiled shared matcher. Build one with a Builder.
+type Automaton struct {
+	states  []state
+	entries []entry
+	pool    sync.Pool // *scratch
+}
+
+// Stats describes an automaton's size for observability.
+type Stats struct {
+	// States is the number of automaton states (including the start state
+	// and "//" skip states).
+	States int
+	// Edges counts symbol-labelled transitions plus wildcard transitions,
+	// self-loops, and epsilon edges into skip states.
+	Edges int
+	// Entries is the number of expressions compiled in.
+	Entries int
+	// AcceptStates is the number of states carrying at least one entry.
+	AcceptStates int
+}
+
+// Builder accumulates expressions and compiles the shared automaton.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	states  []state
+	entries []entry
+}
+
+// NewBuilder returns an empty builder holding only the start state.
+func NewBuilder() *Builder {
+	return &Builder{states: []state{{wild: noEdge, dslash: noEdge}}}
+}
+
+// Len returns the number of entries added so far.
+func (b *Builder) Len() int { return len(b.entries) }
+
+// Add compiles one expression into the automaton under construction and
+// associates data with it: every Match over a path the expression matches
+// will visit data. The same expression may be added multiple times with
+// different payloads (each is reported). Expressions with zero steps match
+// nothing and are ignored. The expression must not be mutated afterwards
+// (its interned step symbols are cached, see XPE.Syms).
+func (b *Builder) Add(x *xpath.XPE, data any) {
+	if x == nil || x.Len() == 0 {
+		return
+	}
+	syms := x.Syms()
+	cur := int32(0)
+	for i, st := range x.Steps {
+		axis := st.Axis
+		if i == 0 && x.Relative {
+			// A relative expression may begin at any position: same
+			// language as a leading "//" step.
+			axis = xpath.Descendant
+		}
+		from := cur
+		if axis == xpath.Descendant {
+			from = b.ensureSkip(cur)
+		}
+		cur = b.ensureEdge(from, syms[i])
+	}
+	idx := int32(len(b.entries))
+	b.entries = append(b.entries, entry{x: x, data: data, hasPreds: x.HasPredicates()})
+	b.states[cur].accept = append(b.states[cur].accept, idx)
+}
+
+// ensureSkip returns the skip ("//") state hanging off from, creating it on
+// first use. All descendant steps leaving the same state share one skip
+// state, so "//a" and "//b" from a common prefix share the self-loop.
+func (b *Builder) ensureSkip(from int32) int32 {
+	if d := b.states[from].dslash; d != noEdge {
+		return d
+	}
+	d := b.newState()
+	b.states[d].selfLoop = true
+	b.states[from].dslash = d
+	return d
+}
+
+// ensureEdge returns the target of from's transition for the step symbol,
+// creating the edge and target state on first use. Wildcard steps use the
+// dedicated wildcard transition so that a concrete path element named "*"
+// is still only matched by wildcard steps (mirroring symStepMatches).
+func (b *Builder) ensureEdge(from int32, sym symtab.Sym) int32 {
+	if sym == symtab.Wildcard {
+		if w := b.states[from].wild; w != noEdge {
+			return w
+		}
+		t := b.newState()
+		b.states[from].wild = t
+		return t
+	}
+	if t, ok := b.states[from].next[sym]; ok {
+		return t
+	}
+	t := b.newState()
+	if b.states[from].next == nil {
+		b.states[from].next = make(map[symtab.Sym]int32)
+	}
+	b.states[from].next[sym] = t
+	return t
+}
+
+func (b *Builder) newState() int32 {
+	b.states = append(b.states, state{wild: noEdge, dslash: noEdge})
+	return int32(len(b.states) - 1)
+}
+
+// Build finalises the automaton. The builder must not be used afterwards.
+func (b *Builder) Build() *Automaton {
+	a := &Automaton{states: b.states, entries: b.entries}
+	nstates, nentries := len(a.states), len(a.entries)
+	a.pool.New = func() any {
+		return &scratch{
+			cur:        make([]int32, 0, nstates),
+			nxt:        make([]int32, 0, nstates),
+			stateStamp: make([]uint32, nstates),
+			entryStamp: make([]uint32, nentries),
+		}
+	}
+	b.states, b.entries = nil, nil
+	return a
+}
+
+// Stats measures the automaton.
+func (a *Automaton) Stats() Stats {
+	s := Stats{States: len(a.states), Entries: len(a.entries)}
+	for i := range a.states {
+		st := &a.states[i]
+		s.Edges += len(st.next)
+		if st.wild != noEdge {
+			s.Edges++
+		}
+		if st.dslash != noEdge {
+			s.Edges++ // the epsilon edge into the skip state
+		}
+		if st.selfLoop {
+			s.Edges++
+		}
+		if len(st.accept) > 0 {
+			s.AcceptStates++
+		}
+	}
+	return s
+}
+
+// scratch is the per-run working set: the active state frontier (cur/nxt)
+// plus epoch-stamped visited markers. stateEpoch advances once per consumed
+// path element (a state may re-activate at a later position); entryEpoch
+// advances once per run (each entry is reported at most once per Match).
+type scratch struct {
+	cur, nxt   []int32
+	stateStamp []uint32
+	entryStamp []uint32
+	stateEpoch uint32
+	entryEpoch uint32
+}
+
+// Match runs the automaton over one interned publication path and invokes
+// visit for the payload of every entry whose expression matches the path,
+// with attribute predicates evaluated against attrs (attrs[i] belongs to
+// path[i]; nil attrs fail any predicate — the MatchesSymPathAttrs
+// contract). Each entry is visited at most once per call, in unspecified
+// order. Safe for concurrent use.
+func (a *Automaton) Match(path []symtab.Sym, attrs []map[string]string, visit func(data any)) {
+	a.run(path, attrs, false, visit)
+}
+
+// MatchStructural is Match with attribute predicates ignored: it reports
+// every entry whose expression structurally matches the path, mirroring
+// XPE.MatchesSymPath. Tests and predicate-free workloads use it.
+func (a *Automaton) MatchStructural(path []symtab.Sym, visit func(data any)) {
+	a.run(path, nil, true, visit)
+}
+
+func (a *Automaton) run(path []symtab.Sym, attrs []map[string]string, structural bool, visit func(data any)) {
+	if len(a.entries) == 0 || len(path) == 0 {
+		return
+	}
+	s := a.pool.Get().(*scratch)
+	s.entryEpoch++
+	if s.entryEpoch == 0 { // epoch wrapped: stale stamps could collide
+		clearStamps(s.entryStamp)
+		s.entryEpoch = 1
+	}
+	s.cur = s.cur[:0]
+	s.beginPosition()
+	// Position 0: the start state and, by epsilon, its skip state. No entry
+	// can accept here (expressions have at least one step).
+	s.cur = a.activate(0, s.cur, s, path, attrs, structural, visit)
+	for _, sym := range path {
+		s.beginPosition()
+		s.nxt = s.nxt[:0]
+		for _, si := range s.cur {
+			st := &a.states[si]
+			if st.selfLoop {
+				// Skip states consume any element and stay active.
+				s.nxt = a.activate(si, s.nxt, s, path, attrs, structural, visit)
+			}
+			if t, ok := st.next[sym]; ok {
+				s.nxt = a.activate(t, s.nxt, s, path, attrs, structural, visit)
+			}
+			if st.wild != noEdge {
+				s.nxt = a.activate(st.wild, s.nxt, s, path, attrs, structural, visit)
+			}
+		}
+		s.cur, s.nxt = s.nxt, s.cur
+		if len(s.cur) == 0 {
+			break // no live prefix can revive
+		}
+	}
+	a.pool.Put(s)
+}
+
+// beginPosition opens a fresh state-dedup window.
+func (s *scratch) beginPosition() {
+	s.stateEpoch++
+	if s.stateEpoch == 0 {
+		clearStamps(s.stateStamp)
+		s.stateEpoch = 1
+	}
+}
+
+// activate adds a state to the frontier (deduplicated per position),
+// reports its accepting entries, and follows the epsilon edge into its skip
+// state. Accepting here — at activation, i.e. the moment the entry's last
+// step is consumed — implements prefix-match acceptance at every position.
+func (a *Automaton) activate(si int32, frontier []int32, s *scratch, path []symtab.Sym, attrs []map[string]string, structural bool, visit func(data any)) []int32 {
+	for {
+		if s.stateStamp[si] == s.stateEpoch {
+			return frontier
+		}
+		s.stateStamp[si] = s.stateEpoch
+		frontier = append(frontier, si)
+		st := &a.states[si]
+		for _, ei := range st.accept {
+			if s.entryStamp[ei] == s.entryEpoch {
+				continue
+			}
+			s.entryStamp[ei] = s.entryEpoch
+			e := &a.entries[ei]
+			if !structural && e.hasPreds && !e.x.MatchesSymPathAttrs(path, attrs) {
+				continue
+			}
+			visit(e.data)
+		}
+		if st.dslash == noEdge {
+			return frontier
+		}
+		si = st.dslash // epsilon into the skip state
+	}
+}
+
+func clearStamps(s []uint32) {
+	for i := range s {
+		s[i] = 0
+	}
+}

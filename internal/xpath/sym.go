@@ -16,18 +16,37 @@ import (
 
 // Syms returns the interned name tests of all steps, with wildcard steps
 // mapped to symtab.Wildcard. The slice is computed against the symtab
-// Default table on first use and cached; callers must treat it as read-only.
-// It is safe for concurrent use: racing first calls compute equivalent
-// slices and publish one atomically.
+// Default table — and ONLY that table — on first use and cached; callers
+// must treat it as read-only. It is safe for concurrent use: racing first
+// calls compute equivalent slices and publish one atomically.
+//
+// The cache is keyed to nothing: it is valid precisely because Syms always
+// interns against symtab.Default and a table never reassigns a symbol. A
+// caller needing another table must use SymsIn, which guards the cache
+// against cross-table pollution.
 func (x *XPE) Syms() []symtab.Sym {
-	if s := x.syms.Load(); s != nil {
-		return *s
+	return x.SymsIn(symtab.Default)
+}
+
+// SymsIn is Syms against an explicit symbol table. Results are cached only
+// for symtab.Default; any other table is converted afresh on every call, so
+// a multi-table caller can never read symbols cached from a different
+// table (the symbols of two tables are unrelated integers — mixing them up
+// would silently mis-route). TestSymsCacheIsDefaultTableOnly pins this.
+func (x *XPE) SymsIn(t *symtab.Table) []symtab.Sym {
+	cacheable := t == symtab.Default
+	if cacheable {
+		if s := x.syms.Load(); s != nil {
+			return *s
+		}
 	}
 	syms := make([]symtab.Sym, len(x.Steps))
 	for i, st := range x.Steps {
-		syms[i] = symtab.Intern(st.Name)
+		syms[i] = t.Intern(st.Name)
 	}
-	x.syms.Store(&syms)
+	if cacheable {
+		x.syms.Store(&syms)
+	}
 	return syms
 }
 

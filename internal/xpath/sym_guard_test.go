@@ -1,0 +1,76 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+// TestSymsCacheIsDefaultTableOnly is the regression guard for the Syms
+// cache contract: the cached slice belongs to symtab.Default alone. A
+// future caller interning the same expression into a private table must get
+// that table's symbols — never the Default-table cache — and must not
+// poison the cache for Default-table users in either call order.
+func TestSymsCacheIsDefaultTableOnly(t *testing.T) {
+	private := symtab.NewTable()
+	// Offset the private table's assignments so equal names get different
+	// symbols in the two tables — a cross-table cache read then cannot pass
+	// by coincidence.
+	private.Intern("offset-0")
+	private.Intern("offset-1")
+
+	t.Run("private-then-default", func(t *testing.T) {
+		x := MustParse("/guard-a/*/guard-b")
+		fromPrivate := x.SymsIn(private)
+		if x.syms.Load() != nil {
+			t.Fatal("SymsIn(private) must not populate the Default cache")
+		}
+		fromDefault := x.Syms()
+		if x.syms.Load() == nil {
+			t.Fatal("Syms must populate the Default cache")
+		}
+		checkAgainst(t, x, private, fromPrivate)
+		checkAgainst(t, x, symtab.Default, fromDefault)
+		if fromPrivate[0] == fromDefault[0] && fromPrivate[2] == fromDefault[2] {
+			t.Fatal("tables unexpectedly agree; the guard test lost its teeth")
+		}
+	})
+
+	t.Run("default-then-private", func(t *testing.T) {
+		x := MustParse("/guard-c/guard-d")
+		fromDefault := x.Syms()
+		fromPrivate := x.SymsIn(private)
+		checkAgainst(t, x, symtab.Default, fromDefault)
+		checkAgainst(t, x, private, fromPrivate)
+		// The cache must still serve Default-table symbols.
+		again := x.Syms()
+		for i := range again {
+			if again[i] != fromDefault[i] {
+				t.Fatalf("cache poisoned: step %d %v != %v", i, again[i], fromDefault[i])
+			}
+		}
+	})
+
+	t.Run("wildcard-is-shared-sentinel", func(t *testing.T) {
+		// The Wildcard sentinel is table-independent by construction.
+		x := MustParse("/*")
+		if got := x.SymsIn(private)[0]; got != symtab.Wildcard {
+			t.Fatalf("wildcard interned to %v", got)
+		}
+	})
+}
+
+// checkAgainst verifies every returned symbol round-trips through the table
+// it was requested from.
+func checkAgainst(t *testing.T, x *XPE, tbl *symtab.Table, syms []symtab.Sym) {
+	t.Helper()
+	if len(syms) != len(x.Steps) {
+		t.Fatalf("len(syms) = %d, want %d", len(syms), len(x.Steps))
+	}
+	for i, s := range x.Steps {
+		want := s.Name
+		if got := tbl.NameOf(syms[i]); got != want {
+			t.Fatalf("step %d: symbol %v names %q in its table, want %q", i, syms[i], got, want)
+		}
+	}
+}
