@@ -42,6 +42,13 @@ func main() {
 		degree    = flag.Float64("degree", 0.1, "imperfect-merging degree tolerance")
 		statsEach = flag.Duration("stats", 30*time.Second, "stats logging interval (0 disables)")
 		traceBuf  = flag.Int("tracebuf", 1024, "trace events retained in the in-memory ring")
+
+		heartbeat    = flag.Duration("heartbeat", 5*time.Second, "heartbeat interval on idle neighbour links (0 disables dead-peer detection)")
+		deadAfter    = flag.Duration("dead-after", 0, "silence after which a neighbour link is declared dead (default 3x heartbeat)")
+		reconnectMin = flag.Duration("reconnect-min", 0, "initial reconnect backoff for lost neighbour links (default 50ms)")
+		reconnectMax = flag.Duration("reconnect-max", 0, "reconnect backoff ceiling (default 2s)")
+		retryBuffer  = flag.Int("retry-buffer", 0, "control messages buffered per neighbour across outages (default 1024)")
+		dialBudget   = flag.Int("dial-budget", 0, "consecutive failed dials before a link goes dormant until new control traffic (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -70,7 +77,14 @@ func main() {
 		log.Fatalf("xbroker: unknown merging mode %q", *merging)
 	}
 
-	srv := transport.NewServer(cfg, nb)
+	srv := transport.NewServerOptions(cfg, nb, transport.Options{
+		Heartbeat:    *heartbeat,
+		DeadAfter:    *deadAfter,
+		ReconnectMin: *reconnectMin,
+		ReconnectMax: *reconnectMax,
+		RetryBuffer:  *retryBuffer,
+		DialBudget:   *dialBudget,
+	})
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("xbroker: %v", err)

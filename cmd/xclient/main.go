@@ -54,6 +54,7 @@ func run(args []string, out io.Writer) error {
 		advertiseDTD = fs.String("advertise-dtd", "", "DTD file (or 'nitf'/'psd') whose advertisements to flood")
 		wait         = fs.Duration("wait", 0, "how long to wait for deliveries (0 = forever)")
 		traced       = fs.Bool("trace", false, "stamp the publication with a trace ID for per-hop tracing (query /debug/traces on the brokers)")
+		reconnect    = fs.Bool("reconnect", false, "redial a lost broker connection with backoff and replay subscriptions/advertisements")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,7 +63,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
 
-	c, err := transport.Dial(*connect, *id)
+	c, err := transport.DialOptions(*connect, *id, transport.ClientOptions{Reconnect: *reconnect})
 	if err != nil {
 		return err
 	}

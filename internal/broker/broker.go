@@ -129,7 +129,7 @@ type counters struct {
 }
 
 // msgTypeCount bounds the MsgType enum for array-indexed counters.
-const msgTypeCount = int(MsgPublish) + 1
+const msgTypeCount = int(MsgHeartbeat) + 1
 
 // Broker is one content-based XML router, safe for concurrent use.
 //
@@ -451,7 +451,7 @@ func (b *Broker) HandleMessage(m *Message, from string) {
 		if ev != nil && b.cfg.TraceSink != nil {
 			b.cfg.TraceSink.Record(*ev)
 		}
-	case MsgAdvertise, MsgUnadvertise, MsgSubscribe, MsgUnsubscribe:
+	case MsgAdvertise, MsgUnadvertise, MsgSubscribe, MsgUnsubscribe, MsgResync:
 		b.mu.Lock()
 		defer b.mu.Unlock()
 		switch m.Type {
@@ -463,6 +463,8 @@ func (b *Broker) HandleMessage(m *Message, from string) {
 			b.handleSubscribe(m, from)
 		case MsgUnsubscribe:
 			b.handleUnsubscribe(m, from)
+		case MsgResync:
+			b.handleResync(m, from)
 		}
 		// Swap the publish view before the lock drops: the next publication
 		// to load the snapshot observes this control change in full.
@@ -686,10 +688,22 @@ func (b *Broker) handleUnsubscribe(m *Message, from string) {
 	if st != nil {
 		delete(st.lastHops, from)
 		if len(st.lastHops) > 0 {
-			return // other peers still need it
+			// Other peers still need the subscription, but a forward to a
+			// hop is justified only by interest from some *other* direction.
+			// If the sole remaining direction is a hop this subscription was
+			// forwarded to, that forward is now vacuous — withdraw it, or
+			// the hop keeps a phantom interest entry pointing back here.
+			if len(st.lastHops) == 1 {
+				for only := range st.lastHops {
+					if st.forwardedTo[only] {
+						delete(st.forwardedTo, only)
+						b.emit(only, &Message{Type: MsgUnsubscribe, XPE: m.XPE})
+					}
+				}
+			}
+			return
 		}
 	}
-	wasTop := n.Parent() == nil
 	// The nodes this subscription covered — its adopted children and its
 	// super-pointer targets — may have had forwarding suppressed on hops it
 	// served; collect them before the removal destroys the links.
@@ -703,10 +717,14 @@ func (b *Broker) handleUnsubscribe(m *Message, from string) {
 			b.emit(hop, &Message{Type: MsgUnsubscribe, XPE: m.XPE})
 		}
 	}
-	// Uncovering: re-forward what this subscription suppressed.
+	// Uncovering: re-forward what this subscription suppressed. This must
+	// run even when the removed node was itself covered — a covering
+	// ancestor only serves the hops it was forwarded to, and the removed
+	// node may have been the sole subscription forwarded on some hop.
 	// forwardSubscription re-applies the per-hop covering rule against the
-	// remaining coverers.
-	if b.cfg.UseCovering && wasTop {
+	// remaining coverers, so hops a surviving coverer already serves are
+	// skipped.
+	if b.cfg.UseCovering {
 		for _, c := range uncovered {
 			if cst := stateOf(c); cst != nil {
 				b.forwardSubscription(c, cst, "")

@@ -194,3 +194,92 @@ func TestUnsubscribeKeepsSharedSubscription(t *testing.T) {
 		t.Errorf("deliveries = %d, want 1 (only c2)", got)
 	}
 }
+
+func unsubM(s string) *Message {
+	return &Message{Type: MsgUnsubscribe, XPE: xpath.MustParse(s)}
+}
+
+// sentTo lists the expressions of messages of one type sent to one peer.
+func (c *capture) sentTo(peer string, t MsgType) []string {
+	var out []string
+	for _, s := range c.sent {
+		if s.to == peer && s.msg.Type == t && s.msg.XPE != nil {
+			out = append(out, s.msg.XPE.String())
+		}
+	}
+	return out
+}
+
+// A subscription quenched by a coverer must be promoted (re-forwarded) when
+// that coverer is unsubscribed — even when the coverer has meanwhile been
+// adopted under a broader subscription in the covering tree. Here /*
+// arrived from the neighbour itself and was never forwarded anywhere, so it
+// cannot serve the quenched child; skipping the promotion because /*/sec
+// sat below /* black-holed the child subscription (found by the chaos
+// equivalence test).
+func TestUncoveringPromotesNestedCoveredSubscription(t *testing.T) {
+	b, cap := newTestBroker(Config{UseCovering: true})
+	b.AddNeighbor("n")
+	b.AddClient("c")
+
+	b.HandleMessage(sub("/*/sec"), "c")
+	if got := cap.sentTo("n", MsgSubscribe); len(got) != 1 || got[0] != "/*/sec" {
+		t.Fatalf("after /*/sec: forwarded %v, want [/*/sec]", got)
+	}
+	// Covered by /*/sec at hop n: quenched.
+	b.HandleMessage(sub("/root/sec//*/par/*"), "c")
+	if got := cap.sentTo("n", MsgSubscribe); len(got) != 1 {
+		t.Fatalf("covered subscription should be quenched, forwarded %v", got)
+	}
+	// /* adopts /*/sec as a covering-tree child; it arrives from n, so it
+	// is never forwarded and serves no hop.
+	b.HandleMessage(sub("/*"), "n")
+
+	b.HandleMessage(unsubM("/*/sec"), "c")
+	if got := cap.sentTo("n", MsgUnsubscribe); len(got) != 1 || got[0] != "/*/sec" {
+		t.Fatalf("withdrawal not propagated: %v", got)
+	}
+	if got := cap.sentTo("n", MsgSubscribe); len(got) != 2 || got[1] != "/root/sec//*/par/*" {
+		t.Fatalf("quenched subscription not promoted on uncovering, forwarded %v", got)
+	}
+}
+
+// When an unsubscribe leaves a subscription's only remaining interest
+// direction equal to a hop it was forwarded to, that forward no longer
+// serves anyone — the hop must receive a withdrawal, or it keeps a phantom
+// entry pointing back here forever (found by the chaos equivalence test:
+// the unsubscribe was lost to a crash and the resynced tables kept the
+// phantom).
+func TestUnsubscribeWithdrawsVacuousForward(t *testing.T) {
+	b, cap := newTestBroker(Config{})
+	b.AddNeighbor("n1")
+	b.AddNeighbor("n2")
+	b.AddNeighbor("n3")
+
+	b.HandleMessage(sub("/root"), "n1") // forwarded to n2, n3
+	b.HandleMessage(sub("/root"), "n2") // new direction: forwarded to n1
+	if got := cap.count(MsgSubscribe); got != 3 {
+		t.Fatalf("forwarded %d subscribes, want 3", got)
+	}
+
+	cap.sent = nil
+	b.HandleMessage(unsubM("/root"), "n1")
+	// n2 is now the only interested direction; the forward to n2 is vacuous
+	// and must be withdrawn. n1 and n3 still serve n2's interest.
+	if got := cap.sentTo("n2", MsgUnsubscribe); len(got) != 1 || got[0] != "/root" {
+		t.Fatalf("vacuous forward to n2 not withdrawn: %v", got)
+	}
+	if got := cap.count(MsgUnsubscribe); got != 1 {
+		t.Fatalf("emitted %d unsubscribes, want 1 (n2 only)", got)
+	}
+	// The entry itself must survive: n2's subscriber still needs delivery.
+	for _, sr := range b.Routes().Subscriptions {
+		if sr.XPE == "/root" {
+			if len(sr.LastHops) != 1 || sr.LastHops[0] != "n2" {
+				t.Fatalf("last hops = %v, want [n2]", sr.LastHops)
+			}
+			return
+		}
+	}
+	t.Fatal("/root entry removed entirely")
+}

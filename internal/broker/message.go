@@ -31,6 +31,18 @@ const (
 	MsgUnsubscribe
 	// MsgPublish carries one publication (a root-to-leaf document path).
 	MsgPublish
+	// MsgResync carries one broker's full owed control state to a healed
+	// neighbour (see Broker.ResyncFor): the advertisements it would have
+	// flooded there and the subscriptions it has forwarded there. The
+	// receiver applies it as a diff — missing entries are added, entries
+	// attributed to the sender but absent from the message are withdrawn —
+	// so a disconnect/reconnect cycle converges to the exact routing state
+	// of a fault-free run.
+	MsgResync
+	// MsgHeartbeat is a transport-level liveness probe. The TCP transport
+	// exchanges heartbeats on idle broker links for dead-peer detection and
+	// consumes them before broker dispatch; brokers never see one.
+	MsgHeartbeat
 )
 
 // String returns the wire name of the message type.
@@ -46,6 +58,10 @@ func (t MsgType) String() string {
 		return "unsubscribe"
 	case MsgPublish:
 		return "publish"
+	case MsgResync:
+		return "resync"
+	case MsgHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -63,6 +79,9 @@ type Message struct {
 
 	// XPE is the subscription payload (subscribe, unsubscribe).
 	XPE *xpath.XPE
+
+	// Resync is the control-state payload of a resync message.
+	Resync *ResyncState
 
 	// Pub is the publication payload (publish). Routing is per path: either
 	// Pub carries a single root-to-leaf path, or Doc carries a whole
@@ -98,6 +117,11 @@ func (m *Message) String() string {
 		return fmt.Sprintf("%s %s", m.Type, m.XPE)
 	case MsgPublish:
 		return fmt.Sprintf("%s %s", m.Type, m.Pub)
+	case MsgResync:
+		if m.Resync != nil {
+			return fmt.Sprintf("%s advs=%d subs=%d", m.Type, len(m.Resync.Advs), len(m.Resync.Subs))
+		}
+		return m.Type.String()
 	default:
 		return m.Type.String()
 	}

@@ -1,0 +1,290 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/advert"
+	"repro/internal/xpath"
+)
+
+// wire is a minimal lossy message fabric for resync tests: brokers exchange
+// messages through a FIFO queue, and individual directed links can be cut so
+// frames on them are counted as lost instead of delivered — the failure the
+// resync protocol must recover from.
+type wire struct {
+	t       *testing.T
+	brokers map[string]*Broker
+	queue   []wireMsg
+	cut     map[string]bool
+	lost    int
+	// delivered records publications handed to client peers, keyed by client.
+	delivered map[string][]string
+}
+
+type wireMsg struct {
+	from, to string
+	m        *Message
+}
+
+func newWire(t *testing.T) *wire {
+	return &wire{
+		t:         t,
+		brokers:   make(map[string]*Broker),
+		cut:       make(map[string]bool),
+		delivered: make(map[string][]string),
+	}
+}
+
+func (w *wire) addBroker(cfg Config) *Broker {
+	id := cfg.ID
+	b := New(cfg, func(to string, m *Message) {
+		w.queue = append(w.queue, wireMsg{from: id, to: to, m: m})
+	})
+	w.brokers[id] = b
+	return b
+}
+
+func (w *wire) connect(a, b string) {
+	w.brokers[a].AddNeighbor(b)
+	w.brokers[b].AddNeighbor(a)
+}
+
+func (w *wire) link(a, b string) string { return a + ">" + b }
+
+// cutBoth severs both directions of a link.
+func (w *wire) cutBoth(a, b string) {
+	w.cut[w.link(a, b)] = true
+	w.cut[w.link(b, a)] = true
+}
+
+func (w *wire) healBoth(a, b string) {
+	delete(w.cut, w.link(a, b))
+	delete(w.cut, w.link(b, a))
+}
+
+// drain delivers queued messages until quiescence, dropping frames on cut
+// links.
+func (w *wire) drain() {
+	for len(w.queue) > 0 {
+		wm := w.queue[0]
+		w.queue = w.queue[1:]
+		if w.cut[w.link(wm.from, wm.to)] {
+			w.lost++
+			continue
+		}
+		if b, ok := w.brokers[wm.to]; ok {
+			b.HandleMessage(wm.m, wm.from)
+			continue
+		}
+		if wm.m.Type == MsgPublish {
+			w.delivered[wm.to] = append(w.delivered[wm.to], wm.m.Pub.String())
+		}
+	}
+}
+
+// subLastHops extracts {expr -> sorted last hops} from a broker.
+func subLastHops(b *Broker) map[string][]string {
+	out := make(map[string][]string)
+	for _, sr := range b.Routes().Subscriptions {
+		if len(sr.LastHops) > 0 {
+			out[sr.XPE] = sr.LastHops
+		}
+	}
+	return out
+}
+
+// advHops extracts {adv expr -> last hop} from a broker.
+func advHops(b *Broker) map[string]string {
+	out := make(map[string]string)
+	for _, ar := range b.Routes().Advertisements {
+		out[ar.Expr] = ar.LastHop
+	}
+	return out
+}
+
+func TestResyncRestoresLostSubscription(t *testing.T) {
+	w := newWire(t)
+	a := w.addBroker(Config{ID: "a"})
+	b := w.addBroker(Config{ID: "b"})
+	w.connect("a", "b")
+	a.AddClient("sub")
+
+	w.cutBoth("a", "b")
+	a.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/stock/price")}, "sub")
+	w.drain()
+	if w.lost == 0 {
+		t.Fatal("expected the forwarded subscribe to be lost on the cut link")
+	}
+	if got := subLastHops(b); len(got) != 0 {
+		t.Fatalf("b learned a subscription over a cut link: %v", got)
+	}
+
+	w.healBoth("a", "b")
+	a.ResyncFor("b")
+	w.drain()
+	got := subLastHops(b)
+	if hops := got["/stock/price"]; len(hops) != 1 || hops[0] != "a" {
+		t.Fatalf("after resync b should route /stock/price via a, got %v", got)
+	}
+
+	// A publication at b now reaches the subscriber through a.
+	b.HandleMessage(&Message{Type: MsgPublish, Pub: pub([]string{"stock", "price"}, nil, 1)}, "pubclient")
+	w.drain()
+	if n := len(w.delivered["sub"]); n != 1 {
+		t.Fatalf("subscriber got %d deliveries after heal, want 1", n)
+	}
+}
+
+func TestResyncWithdrawsLostUnsubscribe(t *testing.T) {
+	w := newWire(t)
+	a := w.addBroker(Config{ID: "a"})
+	b := w.addBroker(Config{ID: "b"})
+	w.connect("a", "b")
+	a.AddClient("sub")
+
+	x := xpath.MustParse("/stock/price")
+	a.HandleMessage(&Message{Type: MsgSubscribe, XPE: x}, "sub")
+	w.drain()
+	if got := subLastHops(b); len(got) != 1 {
+		t.Fatalf("setup: b should hold the subscription, got %v", got)
+	}
+
+	w.cutBoth("a", "b")
+	a.HandleMessage(&Message{Type: MsgUnsubscribe, XPE: x}, "sub")
+	w.drain() // unsubscribe lost
+	w.healBoth("a", "b")
+	a.ResyncFor("b")
+	w.drain()
+	if got := subLastHops(b); len(got) != 0 {
+		t.Fatalf("after resync b should have dropped the stale subscription, got %v", got)
+	}
+}
+
+func TestResyncRestoresLostAdvertisementAndGC(t *testing.T) {
+	w := newWire(t)
+	cfg := Config{UseAdvertisements: true}
+	cfg.ID = "a"
+	a := w.addBroker(cfg)
+	cfg.ID = "b"
+	b := w.addBroker(cfg)
+	w.connect("a", "b")
+	a.AddClient("pub")
+	b.AddClient("sub")
+
+	w.cutBoth("a", "b")
+	a.HandleMessage(&Message{Type: MsgAdvertise, AdvID: "ad1", Adv: advert.MustParse("/stock/price")}, "pub")
+	w.drain() // flood lost
+	if got := advHops(b); len(got) != 0 {
+		t.Fatalf("b learned an advertisement over a cut link: %v", got)
+	}
+
+	w.healBoth("a", "b")
+	a.ResyncFor("b")
+	w.drain()
+	if got := advHops(b); got["/stock/price"] != "a" {
+		t.Fatalf("after resync b should hold the advertisement via a, got %v", got)
+	}
+
+	// With advertisement routing, a subscription at b is now forwarded to a.
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/stock/price")}, "sub")
+	w.drain()
+	if got := subLastHops(a); len(got["/stock/price"]) != 1 {
+		t.Fatalf("a should have received the subscription toward the advertisement, got %v", got)
+	}
+
+	// Unadvertise lost during a second outage: resync garbage-collects it.
+	w.cutBoth("a", "b")
+	a.HandleMessage(&Message{Type: MsgUnadvertise, AdvID: "ad1"}, "pub")
+	w.drain()
+	w.healBoth("a", "b")
+	a.ResyncFor("b")
+	w.drain()
+	if got := advHops(b); len(got) != 0 {
+		t.Fatalf("after resync b should have dropped the stale advertisement, got %v", got)
+	}
+}
+
+func TestResyncAfterCrashRestoresBothDirections(t *testing.T) {
+	w := newWire(t)
+	a := w.addBroker(Config{ID: "a"})
+	b := w.addBroker(Config{ID: "b"})
+	w.connect("a", "b")
+	a.AddClient("suba")
+	b.AddClient("subb")
+
+	a.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/stock/price")}, "suba")
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/news//p")}, "subb")
+	w.drain()
+
+	// b crashes and restarts empty: replace the instance.
+	b = New(Config{ID: "b"}, func(to string, m *Message) {
+		w.queue = append(w.queue, wireMsg{from: "b", to: to, m: m})
+	})
+	w.brokers["b"] = b
+	b.AddNeighbor("a")
+	b.AddClient("subb")
+
+	// Both directions resync. a restores b's view of a's subscription; b's
+	// empty claim clears a's stale entry for the crashed instance, and b's
+	// client replays its own subscription.
+	a.ResyncFor("b")
+	b.ResyncFor("a")
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/news//p")}, "subb")
+	w.drain()
+
+	wantA := map[string][]string{"/stock/price": {"suba"}, "/news//p": {"b"}}
+	wantB := map[string][]string{"/stock/price": {"a"}, "/news//p": {"subb"}}
+	assertSubTables(t, "a", subLastHops(a), wantA)
+	assertSubTables(t, "b", subLastHops(b), wantB)
+}
+
+func TestResyncIsIdempotent(t *testing.T) {
+	w := newWire(t)
+	a := w.addBroker(Config{ID: "a"})
+	b := w.addBroker(Config{ID: "b"})
+	w.connect("a", "b")
+	a.AddClient("sub")
+	a.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/stock//price")}, "sub")
+	w.drain()
+
+	a.ResyncFor("b")
+	w.drain()
+	epoch := b.SnapshotEpoch()
+	before := fmt.Sprint(subLastHops(b), advHops(b))
+	a.ResyncFor("b")
+	w.drain()
+	if got := fmt.Sprint(subLastHops(b), advHops(b)); got != before {
+		t.Fatalf("second resync changed b's tables:\nbefore %s\nafter  %s", before, got)
+	}
+	if b.SnapshotEpoch() != epoch {
+		t.Fatalf("a no-op resync moved b's snapshot epoch %d -> %d", epoch, b.SnapshotEpoch())
+	}
+}
+
+func TestResyncSkipsClientsAndHeartbeatIsIgnored(t *testing.T) {
+	w := newWire(t)
+	a := w.addBroker(Config{ID: "a"})
+	a.AddClient("c1")
+	a.ResyncFor("c1")
+	if len(w.queue) != 0 {
+		t.Fatalf("ResyncFor(client) emitted %d messages, want 0", len(w.queue))
+	}
+	// Heartbeats are transport-level; a broker receiving one must not change
+	// state (the transport filters them, this pins the defensive behaviour).
+	epoch := a.SnapshotEpoch()
+	a.HandleMessage(&Message{Type: MsgHeartbeat}, "b")
+	if a.SnapshotEpoch() != epoch {
+		t.Fatal("heartbeat moved the snapshot epoch")
+	}
+	if got := a.Stats().MsgsIn[MsgHeartbeat]; got != 1 {
+		t.Fatalf("heartbeat not counted in MsgsIn: %d", got)
+	}
+}
+
+func assertSubTables(t *testing.T, broker string, got, want map[string][]string) {
+	t.Helper()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("broker %s subscription table mismatch\n got %v\nwant %v", broker, got, want)
+	}
+}

@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConnFaults describes deterministic faults injected into one connection.
+// The zero value injects nothing.
+type ConnFaults struct {
+	// CloseAfterWrites closes the connection before the Nth write (1-based;
+	// 0 disables) — the mid-stream peer kill.
+	CloseAfterWrites int
+	// CloseAfterReads closes the connection before the Nth read.
+	CloseAfterReads int
+	// WriteDelay is added before every write — a slow or congested link.
+	WriteDelay time.Duration
+	// CorruptWrite flips the low bit of every byte of the Nth write
+	// (1-based; 0 disables) — a corrupt frame on the wire. The peer's
+	// decoder must reject it and close the connection without panicking.
+	CorruptWrite int
+}
+
+// faultConn wraps a net.Conn applying ConnFaults. Counters are atomic:
+// reads and writes may come from different goroutines.
+type faultConn struct {
+	net.Conn
+	f      ConnFaults
+	writes atomic.Int64
+	reads  atomic.Int64
+}
+
+// Wrap applies the fault description to a connection. A zero ConnFaults
+// returns the connection unchanged.
+func Wrap(c net.Conn, f ConnFaults) net.Conn {
+	if f == (ConnFaults{}) {
+		return c
+	}
+	return &faultConn{Conn: c, f: f}
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	n := c.writes.Add(1)
+	if c.f.CloseAfterWrites > 0 && n >= int64(c.f.CloseAfterWrites) {
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	if c.f.WriteDelay > 0 {
+		time.Sleep(c.f.WriteDelay)
+	}
+	if c.f.CorruptWrite > 0 && n == int64(c.f.CorruptWrite) {
+		corrupted := make([]byte, len(p))
+		for i, b := range p {
+			corrupted[i] = b ^ 0x01
+		}
+		return c.Conn.Write(corrupted)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	n := c.reads.Add(1)
+	if c.f.CloseAfterReads > 0 && n >= int64(c.f.CloseAfterReads) {
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	return c.Conn.Read(p)
+}
+
+// Sequence returns a connection-wrap hook that applies faults[k] to the
+// k-th wrapped connection (in wrap order) and passes later connections
+// through untouched. It is the transport's fault-injection entry point:
+// "kill the first connection after three frames, let the reconnection
+// live" is Sequence(ConnFaults{CloseAfterWrites: 3}).
+func Sequence(faults ...ConnFaults) func(net.Conn) net.Conn {
+	var mu sync.Mutex
+	next := 0
+	return func(c net.Conn) net.Conn {
+		mu.Lock()
+		defer mu.Unlock()
+		if next < len(faults) {
+			f := faults[next]
+			next++
+			return Wrap(c, f)
+		}
+		return c
+	}
+}

@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns the two ends of an in-memory connection.
+func pipePair() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestWrapZeroFaultsIsIdentity(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	if Wrap(a, ConnFaults{}) != a {
+		t.Fatal("zero ConnFaults should return the original conn")
+	}
+}
+
+func TestCloseAfterWrites(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	w := Wrap(a, ConnFaults{CloseAfterWrites: 3})
+	go func() { // drain the reader side so writes complete
+		buf := make([]byte, 16)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		if _, err := w.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d failed early: %v", i+1, err)
+		}
+	}
+	if _, err := w.Write([]byte("boom")); err == nil {
+		t.Fatal("third write should have failed")
+	}
+	if _, err := w.Write([]byte("after")); err == nil {
+		t.Fatal("writes after the close should keep failing")
+	}
+}
+
+func TestCloseAfterReads(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	r := Wrap(a, ConnFaults{CloseAfterReads: 2})
+	go func() {
+		b.Write([]byte("x"))
+	}()
+	buf := make([]byte, 1)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("first read failed: %v", err)
+	}
+	if _, err := r.Read(buf); err == nil {
+		t.Fatal("second read should have failed")
+	}
+}
+
+func TestCorruptWriteFlipsBytes(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	w := Wrap(a, ConnFaults{CorruptWrite: 2})
+	got := make(chan []byte, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			buf := make([]byte, 4)
+			n, err := b.Read(buf)
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- buf[:n]
+		}
+	}()
+	w.Write([]byte{0x10, 0x20})
+	w.Write([]byte{0x10, 0x20})
+	first, second := <-got, <-got
+	if !bytes.Equal(first, []byte{0x10, 0x20}) {
+		t.Fatalf("first write corrupted: %x", first)
+	}
+	if !bytes.Equal(second, []byte{0x11, 0x21}) {
+		t.Fatalf("second write not corrupted as specified: %x", second)
+	}
+}
+
+func TestWriteDelay(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	w := Wrap(a, ConnFaults{WriteDelay: 30 * time.Millisecond})
+	go func() {
+		buf := make([]byte, 4)
+		b.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := w.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= ~30ms of injected delay", elapsed)
+	}
+}
+
+func TestSequenceAppliesInOrder(t *testing.T) {
+	hook := Sequence(ConnFaults{CloseAfterWrites: 1}, ConnFaults{})
+	a1, b1 := pipePair()
+	defer b1.Close()
+	c1 := hook(a1)
+	if _, err := c1.Write([]byte("x")); err == nil {
+		t.Fatal("first connection should die on its first write")
+	}
+	a2, b2 := pipePair()
+	defer a2.Close()
+	defer b2.Close()
+	if hook(a2) != a2 {
+		t.Fatal("second connection should pass through unwrapped (zero faults)")
+	}
+	a3, b3 := pipePair()
+	defer a3.Close()
+	defer b3.Close()
+	if hook(a3) != a3 {
+		t.Fatal("connections beyond the sequence should pass through")
+	}
+}

@@ -1,0 +1,225 @@
+// Package faultinject builds seeded, deterministic fault plans for the
+// broker overlay and provides a net.Conn wrapper that injects connection
+// faults into the TCP transport. The same plan drives both execution modes:
+// the discrete-event simulator consumes partition/crash schedules on its
+// virtual clock (sim.Network.InjectPlan), and transport tests wrap real
+// connections with deterministic drop/delay/corrupt behaviour. Determinism
+// is the point — a failing chaos run reproduces from its seed alone.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind enumerates fault-plan events.
+type Kind uint8
+
+const (
+	// KindPartition severs the overlay link A-B in both directions.
+	KindPartition Kind = iota
+	// KindHeal restores the link A-B; both ends resync control state.
+	KindHeal
+	// KindCrash takes broker A down; it loses all routing state and every
+	// frame addressed to it while down.
+	KindCrash
+	// KindRestart brings broker A back with empty tables; neighbours resync
+	// it and its clients replay their control messages.
+	KindRestart
+)
+
+// String names the kind for logs and test failures.
+func (k Kind) String() string {
+	switch k {
+	case KindPartition:
+		return "partition"
+	case KindHeal:
+		return "heal"
+	case KindCrash:
+		return "crash"
+	case KindRestart:
+		return "restart"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault transition.
+type Event struct {
+	// At is the event time on the consumer's clock (virtual for the
+	// simulator, since-start for wall-clock consumers).
+	At   time.Duration
+	Kind Kind
+	// A and B are the link endpoints for partition/heal; for crash/restart
+	// only A is set (the broker).
+	A, B string
+}
+
+// String renders one event compactly: "12ms partition b1-b2".
+func (e Event) String() string {
+	if e.B != "" {
+		return fmt.Sprintf("%v %s %s-%s", e.At, e.Kind, e.A, e.B)
+	}
+	return fmt.Sprintf("%v %s %s", e.At, e.Kind, e.A)
+}
+
+// Plan is a deterministic fault schedule: every fault opens with a
+// partition/crash event and closes with its matching heal/restart strictly
+// before Horizon, so a consumer that runs the plan to its horizon is
+// guaranteed a fully healed overlay.
+type Plan struct {
+	Seed    int64
+	Horizon time.Duration
+	Events  []Event // sorted by At
+}
+
+// Options bounds plan generation.
+type Options struct {
+	// Links are the partitionable overlay links.
+	Links [][2]string
+	// Brokers are the crashable brokers.
+	Brokers []string
+	// Faults is the number of fault windows to schedule (default 4).
+	Faults int
+	// Horizon is the plan length; every fault heals strictly before it
+	// (default 1s).
+	Horizon time.Duration
+	// MinDown and MaxDown bound each fault window's duration (defaults
+	// Horizon/20 and Horizon/4).
+	MinDown, MaxDown time.Duration
+}
+
+// New generates a fault plan from a seed. The same seed and options always
+// yield the same plan. Windows on the same resource (one link, one broker)
+// never overlap; windows on different resources may, so partitions and
+// crashes compound.
+func New(seed int64, o Options) *Plan {
+	if o.Faults <= 0 {
+		o.Faults = 4
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = time.Second
+	}
+	if o.MaxDown <= 0 {
+		o.MaxDown = o.Horizon / 4
+	}
+	if o.MinDown <= 0 {
+		o.MinDown = o.Horizon / 20
+	}
+	if o.MinDown > o.MaxDown {
+		o.MinDown = o.MaxDown
+	}
+	r := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed, Horizon: o.Horizon}
+
+	type window struct{ start, end time.Duration }
+	busy := make(map[string][]window) // resource key -> scheduled windows
+	resources := len(o.Links) + len(o.Brokers)
+	if resources == 0 {
+		return p
+	}
+	overlaps := func(key string, s, e time.Duration) bool {
+		for _, w := range busy[key] {
+			if s < w.end && w.start < e {
+				return true
+			}
+		}
+		return false
+	}
+	for placed, attempts := 0, 0; placed < o.Faults && attempts < o.Faults*50; attempts++ {
+		pick := r.Intn(resources)
+		dur := o.MinDown
+		if span := o.MaxDown - o.MinDown; span > 0 {
+			dur += time.Duration(r.Int63n(int64(span)))
+		}
+		latest := o.Horizon - dur - 1
+		if latest <= 0 {
+			break // window cannot fit the horizon at all
+		}
+		start := time.Duration(r.Int63n(int64(latest)))
+		var open, close Event
+		var key string
+		if pick < len(o.Links) {
+			l := o.Links[pick]
+			key = "link:" + l[0] + "-" + l[1]
+			open = Event{At: start, Kind: KindPartition, A: l[0], B: l[1]}
+			close = Event{At: start + dur, Kind: KindHeal, A: l[0], B: l[1]}
+		} else {
+			id := o.Brokers[pick-len(o.Links)]
+			key = "broker:" + id
+			open = Event{At: start, Kind: KindCrash, A: id}
+			close = Event{At: start + dur, Kind: KindRestart, A: id}
+		}
+		if overlaps(key, start, start+dur) {
+			continue
+		}
+		busy[key] = append(busy[key], window{start, start + dur})
+		p.Events = append(p.Events, open, close)
+		placed++
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	return p
+}
+
+// Validate checks the plan's structural invariants: events sorted by time,
+// every partition/crash closed by a matching heal/restart, and everything
+// healed strictly before the horizon.
+func (p *Plan) Validate() error {
+	open := make(map[string]Kind) // resource -> open fault kind
+	last := time.Duration(-1)
+	for _, e := range p.Events {
+		if e.At < last {
+			return fmt.Errorf("faultinject: events out of order at %v", e.At)
+		}
+		last = e.At
+		if e.At >= p.Horizon {
+			return fmt.Errorf("faultinject: event %s at/after horizon %v", e, p.Horizon)
+		}
+		key := e.A
+		if e.B != "" {
+			key = e.A + "-" + e.B
+		}
+		switch e.Kind {
+		case KindPartition, KindCrash:
+			if _, dup := open[key]; dup {
+				return fmt.Errorf("faultinject: %s already open at %v", key, e.At)
+			}
+			open[key] = e.Kind
+		case KindHeal:
+			if k, ok := open[key]; !ok || k != KindPartition {
+				return fmt.Errorf("faultinject: heal of %s without open partition", key)
+			}
+			delete(open, key)
+		case KindRestart:
+			if k, ok := open[key]; !ok || k != KindCrash {
+				return fmt.Errorf("faultinject: restart of %s without open crash", key)
+			}
+			delete(open, key)
+		default:
+			return fmt.Errorf("faultinject: unknown kind %d", e.Kind)
+		}
+	}
+	if len(open) > 0 {
+		keys := make([]string, 0, len(open))
+		for k := range open {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return fmt.Errorf("faultinject: unhealed faults at horizon: %s", strings.Join(keys, ", "))
+	}
+	return nil
+}
+
+// String renders the whole schedule, one event per line — the reproduction
+// recipe printed by failing chaos tests.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan seed=%d horizon=%v\n", p.Seed, p.Horizon)
+	for _, e := range p.Events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}

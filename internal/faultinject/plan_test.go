@@ -1,0 +1,128 @@
+package faultinject
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+var treeLinks = [][2]string{
+	{"b1", "b2"}, {"b1", "b3"}, {"b2", "b4"}, {"b2", "b5"}, {"b3", "b6"}, {"b3", "b7"},
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	o := Options{Links: treeLinks, Brokers: []string{"b2", "b3"}, Faults: 6}
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := New(seed, o), New(seed, o)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d produced two different plans:\n%s\n%s", seed, a, b)
+		}
+	}
+	if New(1, o).String() == New(2, o).String() {
+		t.Fatal("different seeds produced identical plans (generator ignores seed?)")
+	}
+}
+
+func TestPlanValidates(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := New(seed, Options{Links: treeLinks, Brokers: []string{"b1", "b4"}, Faults: 5})
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: generated plan invalid: %v\n%s", seed, err, p)
+		}
+		if len(p.Events) == 0 {
+			t.Fatalf("seed %d: empty plan", seed)
+		}
+		if len(p.Events)%2 != 0 {
+			t.Fatalf("seed %d: odd event count %d", seed, len(p.Events))
+		}
+	}
+}
+
+func TestPlanHealsBeforeHorizon(t *testing.T) {
+	p := New(7, Options{Links: treeLinks, Faults: 8, Horizon: 200 * time.Millisecond})
+	for _, e := range p.Events {
+		if e.At >= p.Horizon {
+			t.Fatalf("event %s at or beyond horizon %v", e, p.Horizon)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanSameResourceNeverOverlaps(t *testing.T) {
+	// One single link: every window must be disjoint.
+	p := New(3, Options{Links: [][2]string{{"a", "b"}}, Faults: 10, Horizon: time.Second})
+	depth := 0
+	for _, e := range p.Events {
+		switch e.Kind {
+		case KindPartition:
+			depth++
+		case KindHeal:
+			depth--
+		}
+		if depth > 1 {
+			t.Fatalf("overlapping partitions of the same link:\n%s", p)
+		}
+	}
+}
+
+func TestPlanEmptyResources(t *testing.T) {
+	p := New(1, Options{})
+	if len(p.Events) != 0 {
+		t.Fatalf("plan with no resources scheduled %d events", len(p.Events))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBrokenPlans(t *testing.T) {
+	h := time.Second
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"unhealed", []Event{{At: 1, Kind: KindPartition, A: "a", B: "b"}}},
+		{"heal-without-open", []Event{{At: 1, Kind: KindHeal, A: "a", B: "b"}}},
+		{"restart-without-crash", []Event{{At: 1, Kind: KindRestart, A: "a"}}},
+		{"double-crash", []Event{
+			{At: 1, Kind: KindCrash, A: "a"},
+			{At: 2, Kind: KindCrash, A: "a"},
+		}},
+		{"out-of-order", []Event{
+			{At: 5, Kind: KindCrash, A: "a"},
+			{At: 1, Kind: KindRestart, A: "a"},
+		}},
+		{"beyond-horizon", []Event{
+			{At: h, Kind: KindCrash, A: "a"},
+			{At: h + 1, Kind: KindRestart, A: "a"},
+		}},
+		{"unknown-kind", []Event{{At: 1, Kind: Kind(99), A: "a"}}},
+	}
+	for _, tc := range cases {
+		p := &Plan{Horizon: h, Events: tc.events}
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken plan", tc.name)
+		}
+	}
+}
+
+func TestEventAndKindStrings(t *testing.T) {
+	e := Event{At: 12 * time.Millisecond, Kind: KindPartition, A: "b1", B: "b2"}
+	if got := e.String(); got != "12ms partition b1-b2" {
+		t.Errorf("link event rendered %q", got)
+	}
+	c := Event{At: time.Millisecond, Kind: KindCrash, A: "b3"}
+	if got := c.String(); got != "1ms crash b3" {
+		t.Errorf("crash event rendered %q", got)
+	}
+	if got := fmt.Sprint(KindHeal, KindRestart, Kind(42)); got != "heal restart kind(42)" {
+		t.Errorf("kind strings rendered %q", got)
+	}
+	p := New(9, Options{Brokers: []string{"b1"}, Faults: 1})
+	if !strings.Contains(p.String(), "seed=9") {
+		t.Errorf("plan string missing seed: %q", p.String())
+	}
+}

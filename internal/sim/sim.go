@@ -12,9 +12,11 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/faultinject"
 )
 
 // Delivery records a publication arriving at a client.
@@ -31,6 +33,12 @@ type Client struct {
 
 	// Deliveries accumulates received publications.
 	Deliveries []Delivery
+
+	// record holds the client's live control messages (subscriptions and
+	// advertisements, with withdrawals removed) — what a real client's
+	// reconnect logic replays. When the edge broker restarts after a crash,
+	// the simulator re-enqueues the record.
+	record []*broker.Message
 
 	net *Network
 }
@@ -50,6 +58,17 @@ type Network struct {
 	seq     int
 	now     time.Duration
 	rand    *rand.Rand
+
+	// cfgs and adj remember each broker's config and neighbour set so a
+	// crashed broker can be rebuilt empty on restart.
+	cfgs map[string]broker.Config
+	adj  map[string]map[string]bool
+	// partitioned marks severed links (canonical "a|b" keys); down marks
+	// crashed brokers. Frames touching either are dropped.
+	partitioned map[string]bool
+	down        map[string]bool
+	// faultDrops counts frames lost to injected faults.
+	faultDrops int64
 
 	// Latency computes the link delay per message; defaults to a constant
 	// 500µs LAN.
@@ -80,6 +99,9 @@ type event struct {
 	from string
 	to   string
 	msg  *broker.Message
+	// fault, when non-nil, makes this a fault-plan transition instead of a
+	// message delivery (see InjectPlan).
+	fault *faultinject.Event
 }
 
 type eventQueue []*event
@@ -110,6 +132,10 @@ func NewNetwork(seed int64) *Network {
 		rand:           rand.New(rand.NewSource(seed)),
 		Latency:        ConstantLatency(500 * time.Microsecond),
 		brokerReceived: make(map[broker.MsgType]int64),
+		cfgs:           make(map[string]broker.Config),
+		adj:            make(map[string]map[string]bool),
+		partitioned:    make(map[string]bool),
+		down:           make(map[string]bool),
 	}
 }
 
@@ -120,11 +146,21 @@ func (n *Network) Now() time.Duration { return n.now }
 // overlay.
 func (n *Network) AddBroker(cfg broker.Config) *broker.Broker {
 	id := cfg.ID
-	b := broker.New(cfg, func(to string, m *broker.Message) {
+	b := n.newBrokerInstance(cfg)
+	n.brokers[id] = b
+	n.cfgs[id] = cfg
+	if n.adj[id] == nil {
+		n.adj[id] = make(map[string]bool)
+	}
+	return b
+}
+
+// newBrokerInstance builds a broker wired to the network's outbox; restart
+// uses it to replace a crashed instance with an empty one.
+func (n *Network) newBrokerInstance(cfg broker.Config) *broker.Broker {
+	return broker.New(cfg, func(to string, m *broker.Message) {
 		n.outbox = append(n.outbox, outMsg{to: to, msg: m})
 	})
-	n.brokers[id] = b
-	return b
 }
 
 // Broker returns a broker by ID, or nil.
@@ -141,6 +177,28 @@ func (n *Network) Connect(a, b string) {
 	}
 	ba.AddNeighbor(b)
 	bb.AddNeighbor(a)
+	n.adj[a][b] = true
+	n.adj[b][a] = true
+}
+
+// Links returns every broker-broker link once, sorted — the partitionable
+// resource list handed to a fault-plan generator.
+func (n *Network) Links() [][2]string {
+	var out [][2]string
+	for a, peers := range n.adj {
+		for b := range peers {
+			if a < b {
+				out = append(out, [2]string{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
 }
 
 // AddClient attaches a client to an edge broker.
@@ -159,12 +217,39 @@ func (n *Network) enqueueFromClient(c *Client, m *broker.Message) {
 	if m.Type == broker.MsgPublish && m.Stamp == 0 {
 		m.Stamp = int64(n.now)
 	}
+	c.recordControl(m)
 	n.push(&event{
 		at:   n.now + n.Latency.Latency(c.ID, c.Broker, n.rand) + n.transfer(m),
 		from: c.ID,
 		to:   c.Broker,
 		msg:  m,
 	})
+}
+
+// recordControl maintains the client's replayable control state: withdrawals
+// cancel the matching prior message instead of being recorded themselves.
+func (c *Client) recordControl(m *broker.Message) {
+	switch m.Type {
+	case broker.MsgSubscribe, broker.MsgAdvertise:
+		c.record = append(c.record, m)
+	case broker.MsgUnsubscribe:
+		c.dropRecord(func(r *broker.Message) bool {
+			return r.Type == broker.MsgSubscribe && r.XPE.Key() == m.XPE.Key()
+		})
+	case broker.MsgUnadvertise:
+		c.dropRecord(func(r *broker.Message) bool {
+			return r.Type == broker.MsgAdvertise && r.AdvID == m.AdvID
+		})
+	}
+}
+
+func (c *Client) dropRecord(match func(*broker.Message) bool) {
+	for i, r := range c.record {
+		if match(r) {
+			c.record = append(c.record[:i], c.record[i+1:]...)
+			return
+		}
+	}
 }
 
 func (n *Network) push(e *event) {
@@ -178,44 +263,62 @@ func (n *Network) push(e *event) {
 func (n *Network) Run() int {
 	processed := 0
 	for n.queue.Len() > 0 {
-		e := heap.Pop(&n.queue).(*event)
-		n.now = e.at
-		processed++
-		if b := n.brokers[e.to]; b != nil {
-			n.brokerReceived[e.msg.Type]++
-			n.outbox = n.outbox[:0]
-			var proc time.Duration
-			if n.MeasureCompute {
-				start := time.Now()
-				b.HandleMessage(e.msg, e.from)
-				proc = time.Since(start)
-			} else {
-				b.HandleMessage(e.msg, e.from)
-			}
-			for _, om := range n.outbox {
-				n.push(&event{
-					at:   n.now + proc + n.Latency.Latency(e.to, om.to, n.rand) + n.transfer(om.msg),
-					from: e.to,
-					to:   om.to,
-					msg:  om.msg,
-				})
-			}
-			n.outbox = n.outbox[:0]
-			continue
-		}
-		if c := n.clients[e.to]; c != nil {
-			if e.msg.Type == broker.MsgPublish {
-				d := Delivery{Pub: e.msg.Pub.String(), At: n.now}
-				if e.msg.Stamp != 0 {
-					d.Delay = n.now - time.Duration(e.msg.Stamp)
-				}
-				c.Deliveries = append(c.Deliveries, d)
-			}
-			continue
-		}
-		panic(fmt.Sprintf("sim: event for unknown peer %s", e.to))
+		processed += n.step()
 	}
 	return processed
+}
+
+// step pops and processes one event.
+func (n *Network) step() int {
+	e := heap.Pop(&n.queue).(*event)
+	n.now = e.at
+	if debugTrace != nil {
+		debugTrace(n, e)
+	}
+	if e.fault != nil {
+		n.applyFault(e.fault)
+		return 1
+	}
+	// Injected faults: frames on a severed link or addressed to a crashed
+	// broker are lost, exactly like the TCP transport losing a connection
+	// mid-stream.
+	if n.down[e.to] || n.partitioned[linkKey(e.from, e.to)] {
+		n.faultDrops++
+		return 1
+	}
+	if b := n.brokers[e.to]; b != nil {
+		n.brokerReceived[e.msg.Type]++
+		n.outbox = n.outbox[:0]
+		var proc time.Duration
+		if n.MeasureCompute {
+			start := time.Now()
+			b.HandleMessage(e.msg, e.from)
+			proc = time.Since(start)
+		} else {
+			b.HandleMessage(e.msg, e.from)
+		}
+		for _, om := range n.outbox {
+			n.push(&event{
+				at:   n.now + proc + n.Latency.Latency(e.to, om.to, n.rand) + n.transfer(om.msg),
+				from: e.to,
+				to:   om.to,
+				msg:  om.msg,
+			})
+		}
+		n.outbox = n.outbox[:0]
+		return 1
+	}
+	if c := n.clients[e.to]; c != nil {
+		if e.msg.Type == broker.MsgPublish {
+			d := Delivery{Pub: e.msg.Pub.String(), At: n.now}
+			if e.msg.Stamp != 0 {
+				d.Delay = n.now - time.Duration(e.msg.Stamp)
+			}
+			c.Deliveries = append(c.Deliveries, d)
+		}
+		return 1
+	}
+	panic(fmt.Sprintf("sim: event for unknown peer %s", e.to))
 }
 
 // transfer returns the serialisation delay for a message on a link.

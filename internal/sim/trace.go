@@ -1,0 +1,7 @@
+package sim
+
+// debugTrace, when non-nil, observes every event popped from the queue
+// (including fault transitions and frames about to be dropped). Chaos tests
+// set it to reconstruct how a failing seed unfolded; it is never set in
+// production use.
+var debugTrace func(*Network, *event)

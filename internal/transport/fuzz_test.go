@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// FuzzFrameDecode throws arbitrary byte streams at a live server's wire
+// protocol. The invariant is process survival: whatever a connection sends —
+// truncated frames, bit-flipped gob, hostile lengths, or valid frames with
+// absurd contents — the server must at worst close that connection. A panic
+// anywhere (decoder, broker matching, worker pool) fails the fuzz run.
+func FuzzFrameDecode(f *testing.F) {
+	// Seed corpus: a valid session prefix, then progressively damaged ones.
+	valid := func(msgs ...any) []byte {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		for _, m := range msgs {
+			if err := enc.Encode(m); err != nil {
+				f.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	session := valid(
+		hello{ID: "fuzz"},
+		&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/a/b")},
+		&broker.Message{Type: broker.MsgPublish, Pub: xmldoc.Publication{DocID: 1, Path: []string{"a", "b"}}},
+	)
+	f.Add(session)
+	f.Add(session[:len(session)/2]) // truncated mid-frame
+	corrupt := bytes.Clone(session)
+	for i := range corrupt {
+		if i%7 == 0 {
+			corrupt[i] ^= 0x80
+		}
+	}
+	f.Add(corrupt)
+	f.Add([]byte{0x7f, 0xff, 0xff, 0xff}) // huge declared length
+	f.Add([]byte{})
+
+	cfg := broker.Config{}
+	cfg.ID = "b1"
+	s := NewServerOptions(cfg, nil, Options{})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(s.Close)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Bounded dial: thousands of rapid-fire connections can fill the
+		// accept queue, and an unbounded Dial then blocks for the OS connect
+		// timeout (minutes) — long enough for the fuzz coordinator to declare
+		// the worker hung.
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			t.Skip("dial failed; nothing to exercise")
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		conn.Write(data)
+		// Closing hands the server an EOF after our bytes; it processes every
+		// complete frame first. A server-side panic aborts this whole process
+		// and fails the run — that is the assertion.
+		conn.Close()
+	})
+}

@@ -27,6 +27,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/broker"
@@ -109,10 +110,21 @@ type pubTask struct {
 type Server struct {
 	cfg       broker.Config
 	neighbors map[string]string // broker ID -> address
+	opts      Options
 
 	b     *broker.Broker
 	ln    net.Listener
 	peers sync.Map // peer ID -> *peerConn
+
+	// links holds the self-healing state of each neighbour relationship
+	// (retry buffer, reconnect loop, heartbeat liveness). Created lazily on
+	// first contact because neighbour addresses may be filled in after
+	// construction (listeners must bind before addresses exist).
+	linkMu sync.Mutex
+	links  map[string]*link
+
+	// stats counts self-healing events; see Health.
+	stats healthStats
 
 	// pubQueues feeds the matching worker pool; queue index is chosen by
 	// hashing the source peer ID, preserving per-connection order.
@@ -142,14 +154,23 @@ func NewServer(cfg broker.Config, neighbors map[string]string) *Server {
 
 // NewServerWorkers is NewServer with an explicit worker-pool size.
 func NewServerWorkers(cfg broker.Config, neighbors map[string]string, workers int) *Server {
+	return NewServerOptions(cfg, neighbors, Options{Workers: workers})
+}
+
+// NewServerOptions is NewServer with explicit self-healing options.
+func NewServerOptions(cfg broker.Config, neighbors map[string]string, opts Options) *Server {
+	opts = opts.withDefaults()
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
 		cfg:       cfg,
 		neighbors: neighbors,
+		opts:      opts,
 		closed:    make(chan struct{}),
 		pubQueues: make([]chan pubTask, workers),
+		links:     make(map[string]*link, len(neighbors)),
 	}
 	s.b = broker.New(cfg, s.send)
 	for id := range neighbors {
@@ -169,6 +190,7 @@ func NewServerWorkers(cfg broker.Config, neighbors map[string]string, workers in
 		s.reg.GaugeFunc("xbroker_pool_workers",
 			"Size of the publication-matching worker pool.",
 			func() float64 { return float64(len(s.pubQueues)) })
+		s.registerHealthMetrics()
 	}
 	return s
 }
@@ -224,10 +246,19 @@ func (s *Server) matchLoop(q chan pubTask) {
 		case <-s.closed:
 			return
 		case t := <-q:
-			s.b.HandleMessage(t.m, t.from)
-			s.InFlight.Add(-1)
+			s.matchOne(t)
 		}
 	}
+}
+
+// matchOne matches one publication. A frame crafted to make matching panic
+// (decoded off the wire from a hostile or corrupt peer) must cost that
+// message, not the worker or the process; broker locks are deferred, so the
+// unwind releases them.
+func (s *Server) matchOne(t pubTask) {
+	defer s.InFlight.Add(-1)
+	defer func() { recover() }()
+	s.b.HandleMessage(t.m, t.from)
 }
 
 // dispatchPublish hands a publication to the worker owning the source peer.
@@ -255,15 +286,18 @@ func (s *Server) acceptLoop() {
 			}
 			return
 		}
+		if s.opts.ConnWrap != nil {
+			conn = s.opts.ConnWrap(conn)
+		}
 		s.wg.Add(1)
-		go s.serveConn(conn, "")
+		go s.serveConn(conn)
 	}
 }
 
-// serveConn handles one connection. If expectID is empty the peer
-// identifies itself with a hello; otherwise the connection was dialled and
-// the remote ID is already known (we still read its hello for symmetry).
-func (s *Server) serveConn(conn net.Conn, expectID string) {
+// serveConn handles one inbound connection: the peer identifies itself with
+// a hello frame. Neighbour connections attach to the neighbour's link (with
+// a control-state resync); client connections go straight to the peers map.
+func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
@@ -273,16 +307,18 @@ func (s *Server) serveConn(conn net.Conn, expectID string) {
 		return
 	}
 	id := h.ID
-	if expectID != "" && id != expectID {
-		return // neighbour misconfiguration
-	}
 	pc := newPeerConn(conn, enc)
+	if l := s.linkFor(id); l != nil {
+		l.attach(pc)
+		l.resyncAfterAttach()
+		s.readLoop(dec, id, l)
+		l.connLost(pc)
+		return
+	}
 	s.addPeer(id, pc)
 	defer s.dropPeer(id, pc)
-	if _, isNeighbor := s.neighbors[id]; !isNeighbor {
-		s.b.AddClient(id)
-	}
-	s.readLoop(dec, id)
+	s.b.AddClient(id)
+	s.readLoop(dec, id, nil)
 }
 
 // addPeer publishes a live connection and its queue-depth gauge. The gauge
@@ -295,6 +331,15 @@ func (s *Server) addPeer(id string, pc *peerConn) {
 			"Outbound messages queued toward a peer connection.",
 			func() float64 { return float64(len(pc.queue)) }, "peer", id)
 	}
+	// A connection attached while Close is sweeping the peers map would be
+	// missed by the sweep and its read loop would outlive the server. The
+	// store above and this check bracket Close's close(closed)+Range pair:
+	// either the sweep sees the entry, or this check sees closed.
+	select {
+	case <-s.closed:
+		pc.shutdown()
+	default:
+	}
 }
 
 // readLoop decodes frames from one connection. Control messages are handled
@@ -304,11 +349,29 @@ func (s *Server) addPeer(id string, pc *peerConn) {
 // stay ordered among themselves and publications among themselves; a
 // control message may only overtake this connection's own still-queued
 // publications (concurrent by design — see DESIGN.md "Concurrency model").
-func (s *Server) readLoop(dec *gob.Decoder, id string) {
+//
+// Heartbeat frames refresh the link's liveness clock and stop here — they
+// never reach the broker. A frame that decodes into something the broker
+// chokes on must cost this connection, not the process, hence the recover.
+func (s *Server) readLoop(dec *gob.Decoder, id string, l *link) {
+	defer func() { recover() }()
 	for {
 		var m broker.Message
 		if err := dec.Decode(&m); err != nil {
 			return
+		}
+		if l != nil {
+			l.lastRecv.Store(time.Now().UnixNano())
+		}
+		if err := checkWire(&m); err != nil {
+			// A frame outside the wire bounds costs its connection: the
+			// sender is broken or hostile either way, and nothing it sent
+			// can be trusted past this point.
+			s.stats.badFrames.Add(1)
+			return
+		}
+		if m.Type == broker.MsgHeartbeat {
+			continue
 		}
 		if m.Type == broker.MsgPublish {
 			s.dispatchPublish(&m, id)
@@ -330,117 +393,295 @@ func (s *Server) dropPeer(id string, pc *peerConn) {
 	pc.shutdown()
 }
 
-// send delivers a message to a peer, dialling neighbours on demand. It is
-// called by the broker with its lock held (shared for publications), so it
-// must not call back into the broker; enqueueing on the peer's send queue
-// is all it does.
+// send delivers a message to a peer. It is called by the broker with its
+// lock held (shared for publications), so it must not call back into the
+// broker; enqueueing on a send queue or retry buffer is all it does.
+// Neighbour traffic goes through the neighbour's link, which buffers control
+// messages across outages instead of dropping them; client traffic is
+// best-effort on the live connection (a gone client is gone).
 func (s *Server) send(to string, m *broker.Message) {
+	if l := s.linkFor(to); l != nil {
+		l.deliver(m)
+		return
+	}
 	if pc, ok := s.peers.Load(to); ok {
 		if err := pc.(*peerConn).write(m); err != nil {
 			s.dropPeer(to, pc.(*peerConn))
 		}
-		return
-	}
-	addr, isNeighbor := s.neighbors[to]
-	if !isNeighbor {
-		return // disconnected client
-	}
-	pc, err := s.dial(to, addr)
-	if err != nil {
-		return
-	}
-	if err := pc.write(m); err != nil {
-		s.dropPeer(to, pc)
 	}
 }
 
-func (s *Server) dial(id, addr string) (*peerConn, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+// linkFor returns the link for a neighbour ID (creating it on first
+// contact), or nil when the ID is not a configured neighbour. Link creation
+// also starts the neighbour's heartbeat loop when heartbeats are enabled.
+func (s *Server) linkFor(id string) *link {
+	s.linkMu.Lock()
+	defer s.linkMu.Unlock()
+	if l := s.links[id]; l != nil {
+		return l
+	}
+	addr, ok := s.neighbors[id]
+	if !ok {
+		return nil
+	}
+	l := &link{s: s, id: id, addr: addr}
+	s.links[id] = l
+	if s.opts.Heartbeat > 0 {
+		select {
+		case <-s.closed:
+		default:
+			s.wg.Add(1)
+			go l.heartbeatLoop()
+		}
+	}
+	return l
+}
+
+// dialNeighbor makes one dial attempt for a down link. On success the new
+// connection is attached (flushing the retry buffer), the neighbour is
+// resynced, and a read loop is started.
+func (s *Server) dialNeighbor(l *link) error {
+	conn, err := net.DialTimeout("tcp", l.addr, s.opts.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s (%s): %w", id, addr, err)
+		return fmt.Errorf("transport: dial %s (%s): %w", l.id, l.addr, err)
+	}
+	if s.opts.ConnWrap != nil {
+		conn = s.opts.ConnWrap(conn)
 	}
 	enc := gob.NewEncoder(conn)
 	if err := enc.Encode(hello{ID: s.cfg.ID}); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("transport: hello to %s: %w", id, err)
+		return fmt.Errorf("transport: hello to %s: %w", l.id, err)
 	}
 	pc := newPeerConn(conn, enc)
-	s.addPeer(id, pc)
-	// The dialled neighbour may speak back on the same connection.
+	l.attach(pc)
+	l.resyncAfterAttach()
+	// The dialled neighbour speaks back on the same connection.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer conn.Close()
-		defer s.dropPeer(id, pc)
 		dec := gob.NewDecoder(conn)
-		s.readLoop(dec, id)
+		s.readLoop(dec, l.id, l)
+		l.connLost(pc)
 	}()
-	return pc, nil
+	return nil
+}
+
+// ClientOptions tunes a client's reconnect behaviour. The zero value keeps
+// the historical semantics: the connection dropping closes Deliveries.
+type ClientOptions struct {
+	// Reconnect makes the client redial its edge broker when the
+	// connection drops, replay its recorded control state (live
+	// subscriptions and advertisements), and keep the Deliveries channel
+	// open across the swap.
+	Reconnect bool
+	// ReconnectMin and ReconnectMax bound the redial backoff (defaults
+	// 50ms and 2s).
+	ReconnectMin, ReconnectMax time.Duration
+	// DialBudget caps consecutive failed redials per outage; once spent
+	// the client gives up and closes Deliveries. 0 means unlimited.
+	DialBudget int
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.ReconnectMin <= 0 {
+		o.ReconnectMin = 50 * time.Millisecond
+	}
+	if o.ReconnectMax <= 0 {
+		o.ReconnectMax = 2 * time.Second
+	}
+	return o
 }
 
 // Client is a publisher/subscriber endpoint over TCP.
 type Client struct {
 	ID string
 
+	addr string
+	opts ClientOptions
+
+	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
-	mu   sync.Mutex
+	// record holds the client's live control state (subscriptions and
+	// advertisements, withdrawals removed) — what a reconnect replays so
+	// the restarted or recovered edge broker serves the client again.
+	record []*broker.Message
+
+	// Reconnects counts successful redials — observability for callers and
+	// tests.
+	Reconnects atomic.Int64
 
 	// Deliveries receives publications matching the client's
-	// subscriptions. The channel is closed when the connection drops.
+	// subscriptions. The channel is closed when the connection drops and
+	// reconnection is disabled, exhausted, or the client is closed.
 	Deliveries chan *broker.Message
 
+	closed    chan struct{}
 	closeOnce sync.Once
 }
 
-// Dial connects a client to its edge broker.
+// Dial connects a client to its edge broker. The connection dropping closes
+// Deliveries; use DialOptions for a self-healing client.
 func Dial(addr, id string) (*Client, error) {
+	return DialOptions(addr, id, ClientOptions{})
+}
+
+// DialOptions is Dial with explicit reconnect options.
+func DialOptions(addr, id string, opts ClientOptions) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("transport: client dial %s: %w", addr, err)
 	}
 	c := &Client{
 		ID:         id,
+		addr:       addr,
+		opts:       opts.withDefaults(),
 		conn:       conn,
 		enc:        gob.NewEncoder(conn),
 		Deliveries: make(chan *broker.Message, 1024),
+		closed:     make(chan struct{}),
 	}
 	if err := c.enc.Encode(hello{ID: id}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("transport: client hello: %w", err)
 	}
-	go c.readLoop()
+	go c.readLoop(conn)
 	return c, nil
 }
 
-func (c *Client) readLoop() {
-	dec := gob.NewDecoder(c.conn)
+func (c *Client) readLoop(conn net.Conn) {
 	for {
-		var m broker.Message
-		if err := dec.Decode(&m); err != nil {
+		dec := gob.NewDecoder(conn)
+		for {
+			var m broker.Message
+			if err := dec.Decode(&m); err != nil {
+				goto redial
+			}
+			c.Deliveries <- &m
+		}
+	redial:
+		conn.Close()
+		next := c.redial()
+		if next == nil {
 			close(c.Deliveries)
 			return
 		}
-		c.Deliveries <- &m
+		conn = next
 	}
 }
 
-// Send submits any message to the edge broker.
+// redial re-establishes the connection with exponential backoff, replaying
+// the recorded control state once connected. It returns nil when
+// reconnection is disabled, the client was closed, or the dial budget ran
+// out.
+func (c *Client) redial() net.Conn {
+	if !c.opts.Reconnect {
+		return nil
+	}
+	backoff := c.opts.ReconnectMin
+	attempts := 0
+	for {
+		select {
+		case <-c.closed:
+			return nil
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+		if err == nil {
+			enc := gob.NewEncoder(conn)
+			if err := enc.Encode(hello{ID: c.ID}); err == nil {
+				// Swap and replay under the send lock so no Send interleaves
+				// with the replayed record on the fresh stream.
+				c.mu.Lock()
+				c.conn, c.enc = conn, enc
+				replayed := true
+				for _, m := range c.record {
+					if enc.Encode(m) != nil {
+						replayed = false
+						break
+					}
+				}
+				c.mu.Unlock()
+				if replayed {
+					c.Reconnects.Add(1)
+					return conn
+				}
+			}
+			conn.Close()
+		}
+		attempts++
+		if b := c.opts.DialBudget; b > 0 && attempts >= b {
+			return nil
+		}
+		select {
+		case <-c.closed:
+			return nil
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > c.opts.ReconnectMax {
+			backoff = c.opts.ReconnectMax
+		}
+	}
+}
+
+// recordControl maintains the replayable control state under c.mu:
+// withdrawals cancel the matching prior message instead of being recorded.
+func (c *Client) recordControl(m *broker.Message) {
+	switch m.Type {
+	case broker.MsgSubscribe, broker.MsgAdvertise:
+		c.record = append(c.record, m)
+	case broker.MsgUnsubscribe:
+		c.dropRecord(func(r *broker.Message) bool {
+			return r.Type == broker.MsgSubscribe && r.XPE.Key() == m.XPE.Key()
+		})
+	case broker.MsgUnadvertise:
+		c.dropRecord(func(r *broker.Message) bool {
+			return r.Type == broker.MsgAdvertise && r.AdvID == m.AdvID
+		})
+	}
+}
+
+func (c *Client) dropRecord(match func(*broker.Message) bool) {
+	for i, r := range c.record {
+		if match(r) {
+			c.record = append(c.record[:i], c.record[i+1:]...)
+			return
+		}
+	}
+}
+
+// Send submits any message to the edge broker. With reconnection enabled, a
+// control message that hits a dead connection is not an error: it is
+// recorded and will be replayed when the redial succeeds. Publications are
+// never deferred — the caller learns the connection is down and decides.
 func (c *Client) Send(m *broker.Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if m.Type == broker.MsgPublish && m.Stamp == 0 {
 		m.Stamp = time.Now().UnixNano()
 	}
+	if c.opts.Reconnect {
+		c.recordControl(m)
+	}
 	if err := c.enc.Encode(m); err != nil {
+		if c.opts.Reconnect && m.Type != broker.MsgPublish {
+			return nil
+		}
 		return fmt.Errorf("transport: send: %w", err)
 	}
 	return nil
 }
 
-// Close drops the connection.
+// Close drops the connection and stops any reconnection.
 func (c *Client) Close() {
-	c.closeOnce.Do(func() { c.conn.Close() })
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.mu.Lock()
+		c.conn.Close()
+		c.mu.Unlock()
+	})
 }
 
 // WaitDelivery receives one delivery with a timeout.

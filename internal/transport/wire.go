@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/advert"
+	"repro/internal/broker"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// Frames arrive gob-decoded from whoever dialled us. gob reconstructs any
+// value the field types allow, far outside what the parsers and constructors
+// guarantee: subscription step lists that never saw Parse, advertisement
+// trees of arbitrary depth, publication paths of arbitrary length, resync
+// payloads of arbitrary size. The broker and matchers assume constructor
+// invariants, so every inbound frame is checked here first; a frame that
+// fails costs its connection (readLoop closes it) and is counted in
+// HealthStats.BadFrames. The bounds are far above anything the system
+// generates — they exist to cap hostile input, not to constrain use.
+const (
+	maxWireSteps    = 64      // location steps per subscription
+	maxWireName     = 256     // bytes per element name, attribute, or ID
+	maxWirePath     = 256     // elements per publication path
+	maxWireAdvItems = 256     // advertisement items, groups included
+	maxWireAdvDepth = 8       // advertisement group nesting
+	maxWireResync   = 1 << 16 // entries per resync list (a claim spans a whole SRT; one DTD is ~4k adverts)
+	maxWireDocElems = 1 << 16 // elements per whole-document publication
+	maxWireDocDepth = maxWirePath
+	maxWireHops     = 1024 // carried trace hops
+)
+
+// checkWire validates one inbound frame against the wire bounds and the
+// constructor invariants of its payload. It also normalises the frame:
+// Pub.SymPath is dropped, because symbols are process-local — a remote
+// peer's (or attacker's) integers are meaningless here and the broker
+// trusts SymPath when present. Receivers re-intern from Path.
+func checkWire(m *broker.Message) error {
+	switch m.Type {
+	case broker.MsgSubscribe, broker.MsgUnsubscribe:
+		return checkWireXPE(m.XPE)
+	case broker.MsgAdvertise:
+		if err := checkWireAdvID(m.AdvID); err != nil {
+			return err
+		}
+		return checkWireAdv(m.Adv)
+	case broker.MsgUnadvertise:
+		return checkWireAdvID(m.AdvID)
+	case broker.MsgPublish:
+		return checkWirePublish(m)
+	case broker.MsgResync:
+		return checkWireResync(m.Resync)
+	case broker.MsgHeartbeat:
+		return nil
+	default:
+		return fmt.Errorf("unknown message type %d", uint8(m.Type))
+	}
+}
+
+func checkWireXPE(x *xpath.XPE) error {
+	if x == nil {
+		return fmt.Errorf("missing expression")
+	}
+	if len(x.Steps) > maxWireSteps {
+		return fmt.Errorf("expression with %d steps exceeds %d", len(x.Steps), maxWireSteps)
+	}
+	for _, s := range x.Steps {
+		if len(s.Name) > maxWireName {
+			return fmt.Errorf("step name of %d bytes exceeds %d", len(s.Name), maxWireName)
+		}
+	}
+	return x.Validate()
+}
+
+func checkWireAdvID(id string) error {
+	if id == "" || len(id) > maxWireName {
+		return fmt.Errorf("advertisement id of %d bytes", len(id))
+	}
+	return nil
+}
+
+func checkWireAdv(a *advert.Advertisement) error {
+	if a == nil {
+		return fmt.Errorf("missing advertisement")
+	}
+	n, err := checkWireAdvItems(a.Items, 0)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("empty advertisement")
+	}
+	return nil
+}
+
+func checkWireAdvItems(items []advert.Item, depth int) (int, error) {
+	if depth > maxWireAdvDepth {
+		return 0, fmt.Errorf("advertisement groups nested deeper than %d", maxWireAdvDepth)
+	}
+	n := 0
+	for _, it := range items {
+		n++
+		if n > maxWireAdvItems {
+			return 0, fmt.Errorf("advertisement with more than %d items", maxWireAdvItems)
+		}
+		if it.IsGroup() {
+			if len(it.Group) == 0 {
+				return 0, fmt.Errorf("empty advertisement group")
+			}
+			k, err := checkWireAdvItems(it.Group, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if n += k; n > maxWireAdvItems {
+				return 0, fmt.Errorf("advertisement with more than %d items", maxWireAdvItems)
+			}
+		} else if len(it.Name) > maxWireName {
+			return 0, fmt.Errorf("advertisement name of %d bytes exceeds %d", len(it.Name), maxWireName)
+		}
+	}
+	return n, nil
+}
+
+func checkWirePublish(m *broker.Message) error {
+	if len(m.TraceID) > maxWireName {
+		return fmt.Errorf("trace id of %d bytes", len(m.TraceID))
+	}
+	if len(m.Hops) > maxWireHops {
+		return fmt.Errorf("publication carrying %d hops exceeds %d", len(m.Hops), maxWireHops)
+	}
+	if m.Doc != nil {
+		if err := checkWireDoc(m.Doc); err != nil {
+			return err
+		}
+	}
+	if len(m.Pub.Path) > maxWirePath {
+		return fmt.Errorf("publication path of %d elements exceeds %d", len(m.Pub.Path), maxWirePath)
+	}
+	for _, e := range m.Pub.Path {
+		if len(e) > maxWireName {
+			return fmt.Errorf("path element of %d bytes exceeds %d", len(e), maxWireName)
+		}
+	}
+	if len(m.Pub.Attrs) > maxWirePath {
+		return fmt.Errorf("publication with %d attribute maps exceeds %d", len(m.Pub.Attrs), maxWirePath)
+	}
+	// Symbols are process-local; a remote peer's SymPath is a different
+	// table's integers and must never be trusted. Drop it — the broker
+	// re-interns from Path on arrival.
+	m.Pub.SymPath = nil
+	return nil
+}
+
+func checkWireDoc(d *xmldoc.Document) error {
+	if d.Root == nil {
+		return fmt.Errorf("document without root")
+	}
+	n := 0
+	var walk func(e *xmldoc.Elem, depth int) error
+	walk = func(e *xmldoc.Elem, depth int) error {
+		if depth > maxWireDocDepth {
+			return fmt.Errorf("document deeper than %d", maxWireDocDepth)
+		}
+		if n++; n > maxWireDocElems {
+			return fmt.Errorf("document with more than %d elements", maxWireDocElems)
+		}
+		if len(e.Name) > maxWireName {
+			return fmt.Errorf("element name of %d bytes exceeds %d", len(e.Name), maxWireName)
+		}
+		for _, c := range e.Children {
+			if c == nil {
+				return fmt.Errorf("nil element in document")
+			}
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(d.Root, 0)
+}
+
+func checkWireResync(r *broker.ResyncState) error {
+	if r == nil {
+		return fmt.Errorf("missing resync payload")
+	}
+	if len(r.Advs) > maxWireResync || len(r.Subs) > maxWireResync {
+		return fmt.Errorf("resync with %d advs and %d subs exceeds %d", len(r.Advs), len(r.Subs), maxWireResync)
+	}
+	for _, a := range r.Advs {
+		if err := checkWireAdvID(a.ID); err != nil {
+			return err
+		}
+		if err := checkWireAdv(a.Adv); err != nil {
+			return err
+		}
+	}
+	for _, x := range r.Subs {
+		if err := checkWireXPE(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}

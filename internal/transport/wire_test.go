@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/symtab"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// A structurally valid gob frame whose payload violates the wire bounds — a
+// subscription no parser would ever produce — must cost the connection and
+// never reach the broker.
+func TestWireRejectsHostileSubscription(t *testing.T) {
+	s, addr := startEdge(t, nil)
+
+	steps := make([]xpath.Step, 100)
+	for i := range steps {
+		steps[i] = xpath.Step{Axis: xpath.Descendant, Name: xpath.Wildcard}
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(hello{ID: "evil"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.New(false, steps...)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server must close the connection (our read errors out) ...
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	var rerr error
+	for rerr == nil {
+		_, rerr = conn.Read(buf)
+	}
+	if ne, ok := rerr.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server kept the connection after a hostile subscription")
+	}
+	// ... count the rejection, and keep the routing table untouched.
+	waitFor(t, func() bool { return s.Health().BadFrames == 1 })
+	if got := s.PRTSize(); got != 0 {
+		t.Fatalf("hostile subscription reached the broker: PRT = %d", got)
+	}
+}
+
+// Interned symbols are process-local: a publication's wire SymPath is a
+// foreign table's integers and must be dropped on ingress, or a peer could
+// steer matching away from (or toward) subscriptions at will.
+func TestWireDropsForeignSymPath(t *testing.T) {
+	s, addr := startEdge(t, nil)
+
+	sub, err := Dial(addr, "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Send(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/a")}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.PRTSize() == 1 })
+
+	pub, err := Dial(addr, "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	// Path says /a (matches); SymPath claims an element that was never
+	// interned (would not match). The broker must believe Path.
+	if err := pub.Send(&broker.Message{Type: broker.MsgPublish, Pub: xmldoc.Publication{
+		Path:    []string{"a"},
+		SymPath: []symtab.Sym{1 << 30},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.WaitDelivery(5 * time.Second); err != nil {
+		t.Fatal("publication with a forged SymPath was not delivered by Path: ", err)
+	}
+}

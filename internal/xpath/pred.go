@@ -135,6 +135,11 @@ func (x *XPE) MatchesPathAttrs(path []string, attrs []map[string]string) bool {
 		}
 		return nil
 	}
+	if needsMemo(x.Steps) {
+		return matchTable(x.Steps, len(path), x.Relative, func(i, p int) bool {
+			return stepMatchesAnnotated(x.Steps[i], path[p], at(p))
+		})
+	}
 	if x.Relative {
 		for start := 0; start+len(x.Steps) <= len(path); start++ {
 			if matchFromAttrs(x.Steps, path, start, at) {

@@ -87,6 +87,11 @@ func (x *XPE) MatchesSymPath(path []symtab.Sym) bool {
 		return false
 	}
 	syms := x.Syms()
+	if needsMemo(x.Steps) {
+		return matchTable(x.Steps, len(path), x.Relative, func(i, p int) bool {
+			return symStepMatches(syms[i], path[p])
+		})
+	}
 	if x.Relative {
 		for start := 0; start+len(syms) <= len(path); start++ {
 			if symMatchFrom(x.Steps, syms, path, start) {
@@ -139,6 +144,11 @@ func (x *XPE) MatchesSymPathAttrs(path []symtab.Sym, attrs []map[string]string) 
 		return nil
 	}
 	syms := x.Syms()
+	if needsMemo(x.Steps) {
+		return matchTable(x.Steps, len(path), x.Relative, func(i, p int) bool {
+			return symStepMatches(syms[i], path[p]) && predsSatisfied(x.Steps[i], at(p))
+		})
+	}
 	if x.Relative {
 		for start := 0; start+len(syms) <= len(path); start++ {
 			if symMatchFromAttrs(x.Steps, syms, path, start, at) {

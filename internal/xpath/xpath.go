@@ -267,6 +267,33 @@ func MustParse(input string) *XPE {
 	return x
 }
 
+// Validate re-checks the structural invariants Parse guarantees, for
+// expressions that arrived by other means: gob decoding hands the routing
+// layer arbitrary Steps that never went through the parser. It rejects
+// empty expressions, unknown axes, invalid name tests, malformed predicate
+// encodings, and a relative expression whose first step is not a Child step
+// (Parse never produces one, and the matchers assume it).
+func (x *XPE) Validate() error {
+	if len(x.Steps) == 0 {
+		return fmt.Errorf("xpath: no steps")
+	}
+	if x.Relative && x.Steps[0].Axis != Child {
+		return fmt.Errorf("xpath: relative expression with leading descendant step")
+	}
+	for i, s := range x.Steps {
+		if s.Axis != Child && s.Axis != Descendant {
+			return fmt.Errorf("xpath: step %d: unknown axis %d", i, s.Axis)
+		}
+		if err := validateName(s.Name); err != nil {
+			return fmt.Errorf("xpath: step %d: %w", i, err)
+		}
+		if s.Preds != "" && DecodePreds(s.Preds) == nil {
+			return fmt.Errorf("xpath: step %d: malformed predicates %q", i, s.Preds)
+		}
+	}
+	return nil
+}
+
 func validateName(name string) error {
 	if name == "" {
 		return fmt.Errorf("empty step")
@@ -310,6 +337,11 @@ func SymbolCovers(a, b string) bool {
 func (x *XPE) MatchesPath(path []string) bool {
 	if len(x.Steps) == 0 {
 		return false
+	}
+	if needsMemo(x.Steps) {
+		return matchTable(x.Steps, len(path), x.Relative, func(i, p int) bool {
+			return stepMatches(x.Steps[i], path[p])
+		})
 	}
 	if x.Relative {
 		for start := 0; start+len(x.Steps) <= len(path); start++ {
