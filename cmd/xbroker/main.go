@@ -40,6 +40,7 @@ func main() {
 		useCov    = flag.Bool("cov", true, "covering-based table compaction")
 		merging   = flag.String("merge", "off", "merging mode: off|perfect|imperfect")
 		degree    = flag.Float64("degree", 0.1, "imperfect-merging degree tolerance")
+		streaming = flag.Bool("streaming", true, "streaming SAX-path matching for document publications (false = parse and decompose into paths first)")
 		statsEach = flag.Duration("stats", 30*time.Second, "stats logging interval (0 disables)")
 		traceBuf  = flag.Int("tracebuf", 1024, "trace events retained in the in-memory ring")
 
@@ -63,6 +64,7 @@ func main() {
 		UseAdvertisements: *useAdv,
 		UseCovering:       *useCov,
 		ImperfectDegree:   *degree,
+		DisableStreaming:  !*streaming,
 		Metrics:           reg,
 		TraceSink:         ring,
 	}

@@ -11,9 +11,11 @@ import (
 	"repro/internal/cover"
 	"repro/internal/merge"
 	"repro/internal/metrics"
+	"repro/internal/stream"
 	"repro/internal/subtree"
 	"repro/internal/symtab"
 	"repro/internal/trace"
+	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
 
@@ -74,6 +76,18 @@ type Config struct {
 	// the flag exists as the ablation baseline and as an escape hatch.
 	DisableSharedNFA bool
 
+	// DisableStreaming turns off streaming SAX-path matching for
+	// publications: raw document bodies (Message.Raw) are parsed into a
+	// tree and decomposed into paths before matching, and parsed documents
+	// (Message.Doc) are decomposed as earlier versions did, instead of
+	// being routed by one automaton pass over the bytes/tree. Streaming is
+	// the default because its routing cost is proportional to depth ×
+	// automaton activity rather than document size; the flag exists as the
+	// ablation baseline alongside DisableSharedNFA. (With DisableSharedNFA
+	// set there is no automaton to stream against, so streaming is
+	// implicitly off as well.)
+	DisableStreaming bool
+
 	// Metrics, when non-nil, receives the broker's instruments: the
 	// match-latency histogram (labelled by routing strategy) plus
 	// func-backed counters and gauges reading the broker's existing
@@ -114,6 +128,7 @@ type Stats struct {
 	Deliveries     int64 // publications handed to clients
 	FalsePositives int64 // publications reaching an edge broker's client filter without a matching client subscription
 	Mergers        int64 // subscription mergers applied by the periodic pass
+	BadDocuments   int64 // raw publication bodies dropped (malformed XML or wire document bounds)
 }
 
 // counters is the broker's internal, lock-free statistics representation.
@@ -126,6 +141,7 @@ type counters struct {
 	deliveries     atomic.Int64
 	falsePositives atomic.Int64
 	mergers        atomic.Int64
+	badDocs        atomic.Int64
 }
 
 // msgTypeCount bounds the MsgType enum for array-indexed counters.
@@ -245,6 +261,9 @@ func (b *Broker) registerMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("xbroker_mergers_total",
 		"Subscription mergers applied by the periodic merge pass.",
 		func() float64 { return float64(b.stats.mergers.Load()) })
+	reg.CounterFunc("xbroker_bad_documents_total",
+		"Raw publication bodies dropped: malformed XML or wire document bounds.",
+		func() float64 { return float64(b.stats.badDocs.Load()) })
 	for t := 1; t < msgTypeCount; t++ {
 		t := MsgType(t)
 		reg.CounterFunc("xbroker_msgs_in_total",
@@ -319,6 +338,7 @@ func (b *Broker) Stats() Stats {
 		Deliveries:     b.stats.deliveries.Load(),
 		FalsePositives: b.stats.falsePositives.Load(),
 		Mergers:        b.stats.mergers.Load(),
+		BadDocuments:   b.stats.badDocs.Load(),
 	}
 	for t := 1; t < msgTypeCount; t++ {
 		if v := b.stats.msgsIn[t].Load(); v != 0 {
@@ -799,64 +819,97 @@ func (b *Broker) runMergePass() {
 // Matching is one shared-automaton run per publication sym-path (the
 // snapshot's pmatch NFA covers the PRT's last-hop entries and every client
 // filter expression; see DESIGN.md §5c), falling back to the per-
-// subscription covering tree walk when the automaton is absent. Publication
-// paths are matched in interned symbol form; a publication carrying no
-// pre-interned path (hand-built, or a whole document) is converted on
-// arrival. For traced publications it returns the hop event for the caller
-// to record; untraced traffic returns nil.
+// subscription covering tree walk when the automaton is absent. Whole
+// documents are routed by the streaming matcher by default — one automaton
+// pass over the raw bytes (Message.Raw, never parsed into a tree) or over
+// the parsed tree (Message.Doc), see DESIGN.md §5e — with
+// Config.DisableStreaming falling back to decompose-into-paths. A raw body
+// that fails the streaming scan (malformed XML or the wire document
+// bounds) is dropped and counted, never forwarded. Publication paths are
+// matched in interned symbol form; a publication carrying no pre-interned
+// path (hand-built, or a whole document) is converted on arrival. For
+// traced publications it returns the hop event for the caller to record;
+// untraced traffic returns nil.
 func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
 	snap := b.snap.Load()
 	var start time.Time
 	if b.matchSeconds != nil {
 		start = time.Now()
 	}
-	var paths [][]symtab.Sym
-	var attrs [][]map[string]string
-	if m.Doc != nil {
-		paths, attrs = m.Doc.AnnotatedSymPaths()
-	} else {
-		sp := m.Pub.SymPath
-		if sp == nil {
-			sp = symtab.InternPath(m.Pub.Path)
-		}
-		paths = [][]symtab.Sym{sp}
-		attrs = [][]map[string]string{m.Pub.Attrs}
-	}
 	// Collect next hops from all matching subscriptions — one shared-NFA
-	// run per path when the snapshot carries the automaton (the default),
-	// else the covering-pruned tree traversal. The same run also computes
-	// the per-client edge-filter verdicts (clientMatch payloads), so
-	// delivery filtering below re-matches nothing. Attribute predicates are
-	// evaluated in-network either way.
+	// run per document or path when the snapshot carries the automaton
+	// (the default), else the covering-pruned tree traversal. The same run
+	// also computes the per-client edge-filter verdicts (clientMatch
+	// payloads), so delivery filtering below re-matches nothing. Attribute
+	// predicates are evaluated in-network either way.
 	hops := make(map[string]bool)
 	var matchedClients map[string]bool
-	if snap.auto != nil {
-		for i, path := range paths {
-			snap.auto.Match(path, attrs[i], func(data any) {
-				switch v := data.(type) {
-				case []string:
-					for _, hop := range v {
+	collect := func(data any) {
+		switch v := data.(type) {
+		case []string:
+			for _, hop := range v {
+				if hop != from {
+					hops[hop] = true
+				}
+			}
+		case clientMatch:
+			if matchedClients == nil {
+				matchedClients = make(map[string]bool)
+			}
+			matchedClients[string(v)] = true
+		}
+	}
+	// paths/attrs stay nil on the streaming routes; the edge filter below
+	// only consults them when the automaton is absent, which implies the
+	// decomposed route ran.
+	var paths [][]symtab.Sym
+	var attrs [][]map[string]string
+	streaming := snap.auto != nil && !b.cfg.DisableStreaming
+	switch {
+	case streaming && len(m.Raw) > 0:
+		// One pass over the bytes: syntax, wire bounds, and matching.
+		if err := stream.Match(m.Raw, snap.auto, stream.WireLimits, collect); err != nil {
+			b.stats.badDocs.Add(1)
+			return nil
+		}
+	case streaming && m.Doc != nil:
+		stream.MatchDoc(m.Doc, snap.auto, collect)
+	default:
+		doc := m.Doc
+		if doc == nil && len(m.Raw) > 0 {
+			// Ablation fallback for raw bodies: parse, then enforce the
+			// same wire bounds the streaming scan checks incrementally.
+			parsed, err := xmldoc.Parse(m.Raw)
+			if err != nil || stream.CheckDoc(parsed, stream.WireLimits) != nil {
+				b.stats.badDocs.Add(1)
+				return nil
+			}
+			doc = parsed
+		}
+		if doc != nil {
+			paths, attrs = doc.AnnotatedSymPaths()
+		} else {
+			sp := m.Pub.SymPath
+			if sp == nil {
+				sp = symtab.InternPath(m.Pub.Path)
+			}
+			paths = [][]symtab.Sym{sp}
+			attrs = [][]map[string]string{m.Pub.Attrs}
+		}
+		if snap.auto != nil {
+			for i, path := range paths {
+				snap.auto.Match(path, attrs[i], collect)
+			}
+		} else {
+			for i, path := range paths {
+				snap.prt.MatchSymPathAttrs(path, attrs[i], func(n *subtree.Node) {
+					for _, hop := range snapshotNodeHops(n) {
 						if hop != from {
 							hops[hop] = true
 						}
 					}
-				case clientMatch:
-					if matchedClients == nil {
-						matchedClients = make(map[string]bool)
-					}
-					matchedClients[string(v)] = true
-				}
-			})
-		}
-	} else {
-		for i, path := range paths {
-			snap.prt.MatchSymPathAttrs(path, attrs[i], func(n *subtree.Node) {
-				for _, hop := range snapshotNodeHops(n) {
-					if hop != from {
-						hops[hop] = true
-					}
-				}
-			})
+				})
+			}
 		}
 	}
 	if b.matchSeconds != nil {

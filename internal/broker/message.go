@@ -90,6 +90,13 @@ type Message struct {
 	Pub xmldoc.Publication
 	// Doc, when non-nil, is a whole-document publication.
 	Doc *xmldoc.Document
+	// Raw, when non-empty, is a whole-document publication as raw XML
+	// bytes: the broker routes it with the streaming matcher in one pass
+	// over the bytes — never parsing it into a tree — and forwards the
+	// bytes untouched. Exactly one of Raw and Doc may be set. A raw body
+	// that fails the scan (malformed XML or wire document bounds) is
+	// dropped and counted in Stats.BadDocuments.
+	Raw []byte
 
 	// Stamp is the publication's emission time in nanoseconds on the
 	// transport's clock (virtual for the simulator, wall for TCP); clients
@@ -116,6 +123,9 @@ func (m *Message) String() string {
 	case MsgSubscribe, MsgUnsubscribe:
 		return fmt.Sprintf("%s %s", m.Type, m.XPE)
 	case MsgPublish:
+		if len(m.Raw) > 0 {
+			return fmt.Sprintf("%s raw-doc %dB", m.Type, len(m.Raw))
+		}
 		return fmt.Sprintf("%s %s", m.Type, m.Pub)
 	case MsgResync:
 		if m.Resync != nil {

@@ -1,0 +1,223 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// docSink records every publish a broker emits with a mode-independent
+// identity: raw bodies and parsed documents of the same content collapse to
+// the same string, so runs that differ only in publication form can be
+// compared byte for byte.
+type docSink struct {
+	mu   sync.Mutex
+	sent []string
+}
+
+func (s *docSink) send(to string, m *Message) {
+	if m.Type != MsgPublish {
+		return
+	}
+	var body string
+	switch {
+	case len(m.Raw) > 0:
+		body = string(m.Raw)
+	case m.Doc != nil:
+		body = string(m.Doc.Marshal())
+	default:
+		body = m.Pub.String()
+	}
+	s.mu.Lock()
+	s.sent = append(s.sent, to+"<-"+body)
+	s.mu.Unlock()
+}
+
+func (s *docSink) lines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.sent...)
+	sort.Strings(out)
+	return out
+}
+
+// randomBrokerDoc builds a small random document over the broker test
+// alphabet, with k=a|b attributes that the predicate subscriptions from
+// randomWorkloadXPE can hit.
+func randomBrokerDoc(r *rand.Rand) *xmldoc.Document {
+	alpha := []string{"a", "b", "c", "d", "zz"}
+	var build func(depth int) *xmldoc.Elem
+	build = func(depth int) *xmldoc.Elem {
+		e := &xmldoc.Elem{Name: alpha[r.Intn(len(alpha))]}
+		if r.Intn(3) == 0 {
+			e.Attrs = append(e.Attrs, xmldoc.Attr{Name: "k", Value: alpha[r.Intn(2)]})
+		}
+		if depth < 4 {
+			for i := r.Intn(3); i > 0; i-- {
+				e.Children = append(e.Children, build(depth+1))
+			}
+		}
+		return e
+	}
+	return &xmldoc.Document{Root: build(0)}
+}
+
+// streamTestModes enumerates the document-routing configurations whose
+// forwarding must be indistinguishable: the streaming matcher over raw
+// bytes, the streaming matcher over a parsed tree, decompose-into-paths
+// (ablation) for both forms, and the full tree-walk fallback with the
+// shared NFA off.
+var streamTestModes = []struct {
+	name    string
+	cfg     Config
+	sendRaw bool
+}{
+	{"stream-raw", Config{}, true},
+	{"stream-doc", Config{}, false},
+	{"decompose-raw", Config{DisableStreaming: true}, true},
+	{"decompose-doc", Config{DisableStreaming: true}, false},
+	{"treewalk-doc", Config{DisableSharedNFA: true}, false},
+}
+
+// TestStreamingRoutesLikeDecomposition is the broker-level differential
+// contract for DESIGN.md §5e: the same control sequence and the same
+// documents, routed under every mode in streamTestModes, must produce
+// identical forwarding, deliveries, and false-positive counts. Raw bodies
+// are the Marshal of the corresponding tree, so the docSink identities
+// coincide exactly when routing agrees.
+func TestStreamingRoutesLikeDecomposition(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			run := func(cfg Config, sendRaw bool) ([]string, Stats) {
+				r := rand.New(rand.NewSource(seed))
+				s := &docSink{}
+				cfg.ID = "b1"
+				cfg.UseCovering = true
+				b := New(cfg, s.send)
+				b.AddNeighbor("n1")
+				b.AddNeighbor("n2")
+				b.AddClient("c1")
+				b.AddClient("c2")
+				peers := []string{"n1", "n2", "c1", "c2"}
+				var subs []*xpath.XPE
+				for i := 0; i < 250; i++ {
+					switch op := r.Intn(10); {
+					case op < 4: // subscribe
+						x := randomWorkloadXPE(r)
+						subs = append(subs, x)
+						b.HandleMessage(&Message{Type: MsgSubscribe, XPE: x}, peers[r.Intn(len(peers))])
+					case op < 5 && len(subs) > 0: // unsubscribe
+						b.HandleMessage(&Message{Type: MsgUnsubscribe, XPE: subs[r.Intn(len(subs))]}, peers[r.Intn(len(peers))])
+					default: // publish a whole document
+						doc := randomBrokerDoc(r)
+						m := &Message{Type: MsgPublish}
+						if sendRaw {
+							m.Raw = doc.Marshal()
+						} else {
+							m.Doc = doc
+						}
+						b.HandleMessage(m, "producer")
+					}
+				}
+				return s.lines(), b.Stats()
+			}
+
+			var wantLines []string
+			var wantStats Stats
+			for i, mode := range streamTestModes {
+				gotLines, gotStats := run(mode.cfg, mode.sendRaw)
+				if i == 0 {
+					wantLines, wantStats = gotLines, gotStats
+					continue
+				}
+				if !reflect.DeepEqual(gotLines, wantLines) {
+					t.Fatalf("%s forwarding diverged from %s:\nwant: %v\ngot:  %v",
+						mode.name, streamTestModes[0].name, wantLines, gotLines)
+				}
+				if gotStats.Deliveries != wantStats.Deliveries ||
+					gotStats.FalsePositives != wantStats.FalsePositives ||
+					gotStats.BadDocuments != 0 {
+					t.Fatalf("%s stats diverged: want %+v got %+v", mode.name, wantStats, gotStats)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamingForwardsRawUntouched pins the zero-copy contract: a raw body
+// that matches a neighbour subscription is forwarded as the same bytes, not
+// re-marshalled or parsed into a Doc.
+func TestStreamingForwardsRawUntouched(t *testing.T) {
+	var got *Message
+	b := New(Config{ID: "b1"}, func(to string, m *Message) {
+		if m.Type == MsgPublish && to == "n1" {
+			got = m
+		}
+	})
+	b.AddNeighbor("n1")
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/a//b")}, "n1")
+	// Raw form with noise the tree would not round-trip: a comment and
+	// single-quoted attributes.
+	raw := []byte("<a k='1'><!-- noise --><x><b/></x></a>")
+	b.HandleMessage(&Message{Type: MsgPublish, Raw: raw}, "producer")
+	if got == nil {
+		t.Fatal("matching raw publication was not forwarded")
+	}
+	if &got.Raw[0] != &raw[0] || got.Doc != nil {
+		t.Fatal("raw body must be forwarded as the same bytes, without a parsed tree")
+	}
+}
+
+// TestStreamingDropsBadRaw pins the failure contract in both the streaming
+// and the parse-fallback configurations: malformed raw bodies and bodies
+// over the wire document bounds are dropped — never forwarded, even to
+// subscriptions that a prefix of the document matches — and counted in
+// Stats.BadDocuments.
+func TestStreamingDropsBadRaw(t *testing.T) {
+	deep := "<a>" + strings.Repeat("<b>", 300) + strings.Repeat("</b>", 300) + "</a>"
+	bad := []struct {
+		name string
+		raw  string
+	}{
+		{"malformed", "<a><b></a>"},
+		{"truncated", "<a><b/>"},
+		{"entity", "<a>&bogus;</a>"},
+		{"over-depth", deep},
+		{"two-roots", "<a/><a/>"},
+	}
+	for _, disable := range []bool{false, true} {
+		name := "streaming"
+		if disable {
+			name = "fallback"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := &docSink{}
+			b := New(Config{ID: "b1", DisableStreaming: disable}, s.send)
+			b.AddNeighbor("n1")
+			// Every bad body starts with <a>, so a prefix match exists.
+			b.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("/a")}, "n1")
+			for _, tc := range bad {
+				b.HandleMessage(&Message{Type: MsgPublish, Raw: []byte(tc.raw)}, "producer")
+			}
+			if lines := s.lines(); len(lines) != 0 {
+				t.Fatalf("bad documents were forwarded: %v", lines)
+			}
+			if st := b.Stats(); st.BadDocuments != int64(len(bad)) {
+				t.Fatalf("BadDocuments = %d, want %d", st.BadDocuments, len(bad))
+			}
+			// A good document afterwards still routes.
+			b.HandleMessage(&Message{Type: MsgPublish, Raw: []byte("<a/>")}, "producer")
+			if lines := s.lines(); len(lines) != 1 {
+				t.Fatalf("good document after bad ones: %v", lines)
+			}
+		})
+	}
+}

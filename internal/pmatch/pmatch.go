@@ -82,6 +82,7 @@ type Automaton struct {
 	states  []state
 	entries []entry
 	pool    sync.Pool // *scratch
+	cursors sync.Pool // *Cursor (streaming execution, see stream.go)
 }
 
 // Stats describes an automaton's size for observability.
@@ -193,6 +194,15 @@ func (b *Builder) Build() *Automaton {
 		return &scratch{
 			cur:        make([]int32, 0, nstates),
 			nxt:        make([]int32, 0, nstates),
+			stateStamp: make([]uint32, nstates),
+			entryStamp: make([]uint32, nentries),
+		}
+	}
+	a.cursors.New = func() any {
+		return &Cursor{
+			a:          a,
+			frontier:   make([]int32, 0, nstates),
+			offs:       make([]int32, 0, 16),
 			stateStamp: make([]uint32, nstates),
 			entryStamp: make([]uint32, nentries),
 		}

@@ -1,0 +1,220 @@
+package pmatch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/symtab"
+	"repro/internal/xpath"
+)
+
+// The Cursor property test drives the streaming execution over random
+// element trees and checks that its accept set is IDENTICAL to running the
+// per-path matcher over every root-to-leaf path of the tree — the
+// equivalence internal/stream relies on. Trees, not paths: the point of the
+// Cursor is that shared prefixes are consumed once.
+
+// testNode is a bare element tree for driving a Cursor.
+type testNode struct {
+	name     string
+	attrs    map[string]string
+	children []*testNode
+}
+
+func randomTree(r *rand.Rand, depth int) *testNode {
+	n := &testNode{name: quickAlphabet[r.Intn(len(quickAlphabet))]}
+	switch r.Intn(3) {
+	case 0:
+		n.attrs = map[string]string{"k": quickAlphabet[r.Intn(2)]}
+	case 1:
+		n.attrs = map[string]string{"other": "x"}
+	}
+	if depth < 5 {
+		for i := r.Intn(4) - 1; i >= 0; i-- {
+			n.children = append(n.children, randomTree(r, depth+1))
+		}
+	}
+	return n
+}
+
+// leafPaths flattens the tree into annotated root-to-leaf paths.
+func leafPaths(n *testNode) ([][]symtab.Sym, [][]map[string]string) {
+	var paths [][]symtab.Sym
+	var attrs [][]map[string]string
+	var prefix []symtab.Sym
+	var prefixAttrs []map[string]string
+	var walk func(e *testNode)
+	walk = func(e *testNode) {
+		prefix = append(prefix, symtab.Intern(e.name))
+		prefixAttrs = append(prefixAttrs, e.attrs)
+		if len(e.children) == 0 {
+			paths = append(paths, append([]symtab.Sym(nil), prefix...))
+			attrs = append(attrs, append([]map[string]string(nil), prefixAttrs...))
+		}
+		for _, c := range e.children {
+			walk(c)
+		}
+		prefix = prefix[:len(prefix)-1]
+		prefixAttrs = prefixAttrs[:len(prefixAttrs)-1]
+	}
+	walk(n)
+	return paths, attrs
+}
+
+// driveCursor walks the tree with a Cursor, evaluating predicates against
+// the live root-to-node stack (the internal/stream post-filter protocol).
+func driveCursor(c *Cursor, n *testNode, stack *[]symtab.Sym, stackAttrs *[]map[string]string, got *[]int) {
+	sym, _ := symtab.Lookup(n.name)
+	*stack = append(*stack, sym)
+	*stackAttrs = append(*stackAttrs, n.attrs)
+	c.Enter(sym, func(x *xpath.XPE, hasPreds bool, data any) bool {
+		if hasPreds && !x.MatchesSymPathAttrs(*stack, *stackAttrs) {
+			return false // stay eligible for later accepts
+		}
+		*got = append(*got, data.(int))
+		return true
+	})
+	for _, ch := range n.children {
+		driveCursor(c, ch, stack, stackAttrs, got)
+	}
+	*stack = (*stack)[:len(*stack)-1]
+	*stackAttrs = (*stackAttrs)[:len(*stackAttrs)-1]
+	c.Leave()
+}
+
+func TestQuickCursorEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for round := 0; round < 40; round++ {
+		nx := 1 + r.Intn(40)
+		b := NewBuilder()
+		xs := make([]*xpath.XPE, nx)
+		for i := range xs {
+			xs[i] = randomXPE(r)
+			b.Add(xs[i], i)
+		}
+		auto := b.Build()
+		for trial := 0; trial < 25; trial++ {
+			tree := randomTree(r, 0)
+			paths, attrs := leafPaths(tree)
+
+			var want []int
+			seen := map[int]bool{}
+			for pi, p := range paths {
+				auto.Match(p, attrs[pi], func(d any) {
+					if i := d.(int); !seen[i] {
+						seen[i] = true
+						want = append(want, i)
+					}
+				})
+			}
+			sort.Ints(want)
+
+			c := auto.Cursor()
+			var got []int
+			var stack []symtab.Sym
+			var stackAttrs []map[string]string
+			driveCursor(c, tree, &stack, &stackAttrs, &got)
+			if c.Depth() != 0 {
+				t.Fatalf("round %d: depth %d after balanced walk", round, c.Depth())
+			}
+			c.Release()
+			sort.Ints(got)
+
+			if !eqInts(got, want) {
+				t.Fatalf("round %d trial %d: cursor=%v per-path=%v\nexprs=%s",
+					round, trial, got, want, dumpExprs(xs))
+			}
+		}
+	}
+}
+
+// TestCursorReuse exercises the pooled cursor across many documents: epoch
+// stamping must not leak settled entries or frontier state between Resets.
+func TestCursorReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	b := NewBuilder()
+	xs := make([]*xpath.XPE, 20)
+	for i := range xs {
+		xs[i] = randomXPE(r)
+		b.Add(xs[i], i)
+	}
+	auto := b.Build()
+	for trial := 0; trial < 500; trial++ {
+		tree := randomTree(r, 0)
+		paths, attrs := leafPaths(tree)
+		var want []int
+		seen := map[int]bool{}
+		for pi, p := range paths {
+			auto.Match(p, attrs[pi], func(d any) {
+				if i := d.(int); !seen[i] {
+					seen[i] = true
+					want = append(want, i)
+				}
+			})
+		}
+		sort.Ints(want)
+		c := auto.Cursor()
+		var got []int
+		var stack []symtab.Sym
+		var stackAttrs []map[string]string
+		driveCursor(c, tree, &stack, &stackAttrs, &got)
+		c.Release()
+		sort.Ints(got)
+		if !eqInts(got, want) {
+			t.Fatalf("trial %d: cursor=%v per-path=%v", trial, got, want)
+		}
+	}
+}
+
+func TestCursorEmptyAutomaton(t *testing.T) {
+	auto := NewBuilder().Build()
+	c := auto.Cursor()
+	defer c.Release()
+	c.Enter(symtab.Intern("a"), func(x *xpath.XPE, hasPreds bool, data any) bool {
+		t.Fatal("accept on empty automaton")
+		return true
+	})
+	if c.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", c.Depth())
+	}
+	c.Leave()
+	if c.Depth() != 0 {
+		t.Fatalf("Depth = %d, want 0", c.Depth())
+	}
+}
+
+func TestCursorLeavePanics(t *testing.T) {
+	auto := NewBuilder().Build()
+	c := auto.Cursor()
+	defer c.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Leave at depth 0 did not panic")
+		}
+	}()
+	c.Leave()
+}
+
+// TestCursorUnknownSym: names outside the interned alphabet arrive as None
+// and must match only wildcard and descendant skips, never concrete steps.
+func TestCursorUnknownSym(t *testing.T) {
+	b := NewBuilder()
+	b.Add(xpath.MustParse("/a/*"), "wild")
+	b.Add(xpath.MustParse("/a/b"), "concrete")
+	b.Add(xpath.MustParse("//b"), "skip")
+	auto := b.Build()
+	c := auto.Cursor()
+	defer c.Release()
+	var got []string
+	visit := func(x *xpath.XPE, hasPreds bool, data any) bool {
+		got = append(got, data.(string))
+		return true
+	}
+	c.Enter(symtab.Intern("a"), visit)
+	c.Enter(symtab.None, visit) // e.g. an element name never interned
+	sort.Strings(got)
+	if len(got) != 1 || got[0] != "wild" {
+		t.Fatalf("accepts = %v, want [wild]", got)
+	}
+}

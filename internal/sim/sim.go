@@ -327,7 +327,9 @@ func (n *Network) transfer(m *broker.Message) time.Duration {
 		return 0
 	}
 	size := 96 // control-message envelope estimate
-	if m.Doc != nil {
+	if len(m.Raw) > 0 {
+		size = len(m.Raw)
+	} else if m.Doc != nil {
 		size = m.Doc.Size()
 	} else if m.Type == broker.MsgPublish {
 		for _, el := range m.Pub.Path {

@@ -114,6 +114,17 @@ func (t *Table) Lookup(name string) (sym Sym, ok bool) {
 	return sym, ok
 }
 
+// LookupBytes is Lookup for a name held as a byte slice, without interning
+// and without allocating: the string(b) conversion inside a map index is
+// recognised by the compiler and performs no copy. Streaming scanners use it
+// to convert element names in place; unknown names report None, which only
+// wildcard steps match — safe because any name a concrete step could match
+// is already interned by XPE.Syms.
+func (t *Table) LookupBytes(b []byte) (sym Sym, ok bool) {
+	sym, ok = t.snap.Load().byName[string(b)]
+	return sym, ok
+}
+
 // NameOf returns the name a symbol was interned from ("" for None, unknown
 // symbols, and unassigned reserved slots).
 func (t *Table) NameOf(sym Sym) string {
@@ -166,6 +177,9 @@ func Intern(name string) Sym { return Default.Intern(name) }
 
 // Lookup looks name up in the Default table.
 func Lookup(name string) (Sym, bool) { return Default.Lookup(name) }
+
+// LookupBytes looks a byte-slice name up in the Default table.
+func LookupBytes(b []byte) (Sym, bool) { return Default.LookupBytes(b) }
 
 // NameOf resolves a symbol against the Default table.
 func NameOf(sym Sym) string { return Default.NameOf(sym) }

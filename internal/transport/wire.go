@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/advert"
 	"repro/internal/broker"
+	"repro/internal/stream"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
@@ -27,7 +28,8 @@ const (
 	maxWireResync   = 1 << 16 // entries per resync list (a claim spans a whole SRT; one DTD is ~4k adverts)
 	maxWireDocElems = 1 << 16 // elements per whole-document publication
 	maxWireDocDepth = maxWirePath
-	maxWireHops     = 1024 // carried trace hops
+	maxWireHops     = 1024    // carried trace hops
+	maxWireRawDoc   = 1 << 20 // bytes per raw-XML publication body
 )
 
 // checkWire validates one inbound frame against the wire bounds and the
@@ -128,6 +130,16 @@ func checkWirePublish(m *broker.Message) error {
 	if len(m.Hops) > maxWireHops {
 		return fmt.Errorf("publication carrying %d hops exceeds %d", len(m.Hops), maxWireHops)
 	}
+	if len(m.Raw) > maxWireRawDoc {
+		return fmt.Errorf("raw document of %d bytes exceeds %d", len(m.Raw), maxWireRawDoc)
+	}
+	if len(m.Raw) > 0 && m.Doc != nil {
+		return fmt.Errorf("publication carrying both raw and parsed document")
+	}
+	// Raw bodies are NOT scanned here: the broker's streaming matcher
+	// validates syntax and the document bounds in the same pass that
+	// routes them (and counts rejects in Stats.BadDocuments), so checking
+	// here would double the work on every hop.
 	if m.Doc != nil {
 		if err := checkWireDoc(m.Doc); err != nil {
 			return err
@@ -151,33 +163,11 @@ func checkWirePublish(m *broker.Message) error {
 	return nil
 }
 
+// checkWireDoc delegates to stream.CheckDoc so the parsed-document bounds
+// and the streaming scanner's incremental bounds can never drift apart
+// (stream.WireLimits mirrors maxWireDocDepth/maxWireDocElems/maxWireName).
 func checkWireDoc(d *xmldoc.Document) error {
-	if d.Root == nil {
-		return fmt.Errorf("document without root")
-	}
-	n := 0
-	var walk func(e *xmldoc.Elem, depth int) error
-	walk = func(e *xmldoc.Elem, depth int) error {
-		if depth > maxWireDocDepth {
-			return fmt.Errorf("document deeper than %d", maxWireDocDepth)
-		}
-		if n++; n > maxWireDocElems {
-			return fmt.Errorf("document with more than %d elements", maxWireDocElems)
-		}
-		if len(e.Name) > maxWireName {
-			return fmt.Errorf("element name of %d bytes exceeds %d", len(e.Name), maxWireName)
-		}
-		for _, c := range e.Children {
-			if c == nil {
-				return fmt.Errorf("nil element in document")
-			}
-			if err := walk(c, depth+1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return walk(d.Root, 0)
+	return stream.CheckDoc(d, stream.WireLimits)
 }
 
 func checkWireResync(r *broker.ResyncState) error {

@@ -52,6 +52,64 @@ func TestWireRejectsHostileSubscription(t *testing.T) {
 	}
 }
 
+// Raw-document publications get exactly one transport-level check — the
+// size cap. Syntax and the document bounds are the broker's streaming
+// scan's job (it validates while routing), so a malformed body passes the
+// wire check; but a body over the byte cap, or a frame smuggling both
+// forms at once, must die here before the broker sees it.
+func TestWireRawPublicationBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  *broker.Message
+		ok   bool
+	}{
+		{"raw-ok", &broker.Message{Type: broker.MsgPublish, Raw: []byte("<a><b/></a>")}, true},
+		{"raw-at-cap", &broker.Message{Type: broker.MsgPublish, Raw: rawDocOfSize(maxWireRawDoc)}, true},
+		{"raw-over-cap", &broker.Message{Type: broker.MsgPublish, Raw: rawDocOfSize(maxWireRawDoc + 1)}, false},
+		{"raw-malformed-passes", &broker.Message{Type: broker.MsgPublish, Raw: []byte("<a><b></a>")}, true},
+		{"raw-and-doc", &broker.Message{Type: broker.MsgPublish,
+			Raw: []byte("<a/>"), Doc: &xmldoc.Document{Root: xmldoc.NewElem("a")}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkWire(tc.msg)
+			if tc.ok && err != nil {
+				t.Fatalf("checkWire: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("checkWire accepted a frame it must reject")
+			}
+		})
+	}
+}
+
+// rawDocOfSize builds a well-formed raw body of exactly n bytes.
+func rawDocOfSize(n int) []byte {
+	b := make([]byte, 0, n)
+	b = append(b, "<a>"...)
+	for len(b) < n-len("</a>") {
+		b = append(b, 'x')
+	}
+	return append(b, "</a>"...)
+}
+
+// checkWireDoc delegates to stream.CheckDoc; the parsed-document bounds
+// must still hold (a regression here would let deep gob-built trees reach
+// the matcher's recursion).
+func TestWireDocBoundsStillEnforced(t *testing.T) {
+	deep := xmldoc.NewElem("a")
+	cur := deep
+	for i := 0; i < maxWireDocDepth+1; i++ {
+		next := xmldoc.NewElem("b")
+		cur.Children = append(cur.Children, next)
+		cur = next
+	}
+	err := checkWire(&broker.Message{Type: broker.MsgPublish, Doc: &xmldoc.Document{Root: deep}})
+	if err == nil {
+		t.Fatal("over-depth parsed document passed the wire check")
+	}
+}
+
 // Interned symbols are process-local: a publication's wire SymPath is a
 // foreign table's integers and must be dropped on ingress, or a peer could
 // steer matching away from (or toward) subscriptions at will.

@@ -1,0 +1,74 @@
+package xmlrouter
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/xpath"
+)
+
+// BenchmarkStreamMatch pins the streaming matcher's headline property
+// (internal/stream, DESIGN.md §5e): routing cost is proportional to
+// document depth × automaton activity, not document size. The same raw XML
+// body is published through two otherwise identical brokers — "stream" runs
+// the automaton over the bytes in one pass, "decompose" (the
+// Config.DisableStreaming ablation) parses the body into a tree and matches
+// every decomposed root-to-leaf path — while the document grows 1×→100× at
+// fixed depth. Streaming allocs/op must stay flat across the sweep (the
+// matcher, cursor, and per-frame stacks are pooled; only the broker's
+// constant per-publication bookkeeping allocates); the decompose column
+// grows with size because parsing materialises the tree. EXPERIMENTS.md and
+// BENCH_stream.json record measured numbers.
+func BenchmarkStreamMatch(b *testing.B) {
+	// One fixed-depth section; document size scales by repetition only, so
+	// depth, names, and match structure are identical across sizes.
+	const section = `<section id="s1" class="x"><head><title>t</title></head>` +
+		`<body><p>text &amp; more</p><quote><attrib>q</attrib></quote></body></section>`
+	mkRaw := func(n int) []byte {
+		var sb strings.Builder
+		sb.WriteString("<doc>")
+		for i := 0; i < n; i++ {
+			sb.WriteString(section)
+		}
+		sb.WriteString("</doc>")
+		return []byte(sb.String())
+	}
+	subs := []string{
+		"/doc/section/head/title",
+		"//quote/attrib",
+		"/doc//p",
+		"/doc/section/body",
+		"//head/*",
+		"/doc/other/miss",
+	}
+	newBroker := func(disableStreaming bool) *broker.Broker {
+		br := broker.New(broker.Config{ID: "b1", UseCovering: true, DisableStreaming: disableStreaming},
+			func(string, *broker.Message) {})
+		br.AddNeighbor("n1")
+		for _, s := range subs {
+			br.HandleMessage(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse(s)}, "n1")
+		}
+		return br
+	}
+
+	for _, scale := range []int{1, 10, 100} {
+		raw := mkRaw(4 * scale)
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"stream", false}, {"decompose", true}} {
+			b.Run(fmt.Sprintf("doc=%dx/%s", scale, mode.name), func(b *testing.B) {
+				br := newBroker(mode.disable)
+				msg := &broker.Message{Type: broker.MsgPublish, Raw: raw}
+				b.SetBytes(int64(len(raw)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					br.HandleMessage(msg, "producer")
+				}
+			})
+		}
+	}
+}
