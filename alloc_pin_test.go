@@ -1,0 +1,46 @@
+package xmlrouter
+
+import (
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/metrics"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// publishAllocBaseline is the seed's allocations per untraced publication
+// for the workload below, measured on the pre-instrumentation tree (path
+// re-interning, the forwarded message copy, ordered-destination scratch,
+// sort machinery). The per-stage span instrumentation must not add to it:
+// the span lives on the stack, stage observations are lock-free histogram
+// increments, and the flight recorder costs one comparison when healthy. A
+// regression here means a heap allocation leaked into the publish path —
+// fix the code, do not bump the constant without a matching DESIGN.md note.
+const publishAllocBaseline = 9
+
+// TestPublishAllocsPinned pins the untraced publish path's allocations per
+// operation, with and without a metrics registry attached (the registry
+// arms the stage histograms, so both halves of the measure gate are
+// covered).
+func TestPublishAllocsPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is meaningless under -short's reduced runs")
+	}
+	pub := xmldoc.Publication{Path: []string{"stock", "quote", "price"}}
+	run := func(t *testing.T, reg *metrics.Registry) {
+		br := broker.New(broker.Config{ID: "b1", Metrics: reg}, func(to string, m *broker.Message) {})
+		br.AddClient("sub")
+		br.HandleMessage(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/stock//price")}, "sub")
+
+		avg := testing.AllocsPerRun(200, func() {
+			br.HandleMessage(&broker.Message{Type: broker.MsgPublish, Pub: pub}, "producer")
+		})
+		if avg > publishAllocBaseline {
+			t.Errorf("untraced publish = %.1f allocs/op, baseline %d — instrumentation leaked onto the hot path",
+				avg, publishAllocBaseline)
+		}
+	}
+	t.Run("no-metrics", func(t *testing.T) { run(t, nil) })
+	t.Run("with-metrics", func(t *testing.T) { run(t, metrics.NewRegistry()) })
+}

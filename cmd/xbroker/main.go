@@ -8,9 +8,11 @@
 //	xbroker -id b3 -listen :7003 -admin 127.0.0.1:9003 -neighbors b2=localhost:7002
 //
 // Strategy flags select the paper's routing optimisations. The opt-in
-// admin listener serves /metrics (Prometheus), /debug/traces (per-hop
-// publication traces), /debug/routes (routing-table dump), and
-// /debug/pprof; it is unauthenticated, so bind it to localhost.
+// admin listener serves /metrics (Prometheus), /statusz (the machine-
+// readable status snapshot xtop polls), /debug/traces (per-hop publication
+// traces), /debug/routes (routing-table dump), /debug/slow (the slow-
+// publication flight recorder), and /debug/pprof; it is unauthenticated,
+// so bind it to localhost.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"repro/internal/admin"
 	"repro/internal/broker"
 	"repro/internal/metrics"
+	"repro/internal/slowlog"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -44,6 +47,9 @@ func main() {
 		statsEach = flag.Duration("stats", 30*time.Second, "stats logging interval (0 disables)")
 		traceBuf  = flag.Int("tracebuf", 1024, "trace events retained in the in-memory ring")
 
+		slowThreshold = flag.Duration("slow-threshold", 50*time.Millisecond, "in-broker latency above which a publication is captured by the flight recorder (0 disables)")
+		slowBuf       = flag.Int("slowbuf", 256, "slow publications retained in the flight recorder")
+
 		heartbeat    = flag.Duration("heartbeat", 5*time.Second, "heartbeat interval on idle neighbour links (0 disables dead-peer detection)")
 		deadAfter    = flag.Duration("dead-after", 0, "silence after which a neighbour link is declared dead (default 3x heartbeat)")
 		reconnectMin = flag.Duration("reconnect-min", 0, "initial reconnect backoff for lost neighbour links (default 50ms)")
@@ -59,6 +65,13 @@ func main() {
 	}
 	reg := metrics.NewRegistry()
 	ring := trace.NewRing(*traceBuf)
+	var slow *slowlog.Log
+	if *slowThreshold > 0 {
+		slow = slowlog.New(*slowThreshold, *slowBuf)
+		// Every capture is also a structured log line, so slow publications
+		// are diagnosable from the broker's log alone.
+		slow.Logger = func(e slowlog.Entry) { log.Printf("slow publication %s", e) }
+	}
 	cfg := broker.Config{
 		ID:                *id,
 		UseAdvertisements: *useAdv,
@@ -67,6 +80,7 @@ func main() {
 		DisableStreaming:  !*streaming,
 		Metrics:           reg,
 		TraceSink:         ring,
+		SlowLog:           slow,
 	}
 	switch *merging {
 	case "off":
@@ -95,7 +109,20 @@ func main() {
 		*id, addr, len(nb), cfg.StrategyName())
 
 	if *adminAddr != "" {
-		h := admin.Handler(reg, ring, func() any { return srv.Broker().Routes() })
+		h := admin.Endpoints{
+			Metrics: reg,
+			Traces:  ring,
+			Routes:  func() any { return srv.Broker().Routes() },
+			Slow:    slow,
+			Status: &admin.Status{
+				Broker:   *id,
+				Started:  time.Now(),
+				Registry: reg,
+				Links:    func() any { return srv.Links() },
+				Queues:   srv.QueueDepths,
+				Slow:     slow,
+			},
+		}.Handler()
 		bound, stopAdmin, err := admin.Serve(*adminAddr, h)
 		if err != nil {
 			log.Fatalf("xbroker: admin: %v", err)

@@ -169,22 +169,54 @@ func printDelivery(out io.Writer, m *broker.Message) {
 	if m.Stamp != 0 {
 		delay = fmt.Sprintf(" (delay %v)", time.Since(time.Unix(0, m.Stamp)).Round(time.Microsecond))
 	}
-	if m.Doc != nil {
+	switch {
+	case m.Doc != nil:
 		fmt.Fprintf(out, "received document <%s> with %d paths%s%s\n", m.Doc.Root.Name, len(m.Doc.Paths()), delay, hopNote(m))
-		return
-	}
-	if len(m.Raw) > 0 {
+	case len(m.Raw) > 0:
 		// Raw bodies arrive as the publisher's bytes; parse locally for a
 		// readable summary (brokers validated it while routing).
 		if doc, err := xmldoc.Parse(m.Raw); err == nil {
 			fmt.Fprintf(out, "received raw document <%s> (%d bytes, %d paths)%s%s\n",
 				doc.Root.Name, len(m.Raw), len(doc.Paths()), delay, hopNote(m))
-			return
+		} else {
+			fmt.Fprintf(out, "received raw document (%d bytes)%s%s\n", len(m.Raw), delay, hopNote(m))
 		}
-		fmt.Fprintf(out, "received raw document (%d bytes)%s%s\n", len(m.Raw), delay, hopNote(m))
+	default:
+		fmt.Fprintf(out, "received %s%s%s\n", m.Pub, delay, hopNote(m))
+	}
+	printHopStages(out, m)
+}
+
+// printHopStages breaks a traced delivery's end-to-end latency down by hop
+// and stage: one indented line per broker with its in-broker stage
+// durations, then the total in-broker time versus the wall-clock end-to-end
+// delay — the difference is network transit plus inter-broker queueing.
+func printHopStages(out io.Writer, m *broker.Message) {
+	if m.TraceID == "" {
 		return
 	}
-	fmt.Fprintf(out, "received %s%s%s\n", m.Pub, delay, hopNote(m))
+	var inBroker int64
+	for _, h := range m.Hops {
+		if len(h.Stages) == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  hop %s:", h.Broker)
+		for _, s := range h.Stages {
+			fmt.Fprintf(out, " %s=%v", s.Stage, time.Duration(s.Nanos))
+		}
+		total := h.TotalStageNanos()
+		inBroker += total
+		fmt.Fprintf(out, " (in-broker %v)\n", time.Duration(total))
+	}
+	if inBroker == 0 {
+		return
+	}
+	line := fmt.Sprintf("  in-broker total %v", time.Duration(inBroker))
+	if m.Stamp != 0 {
+		e2e := time.Since(time.Unix(0, m.Stamp))
+		line += fmt.Sprintf(" of %v end-to-end (rest is transit)", e2e.Round(time.Microsecond))
+	}
+	fmt.Fprintln(out, line)
 }
 
 // hopNote renders a traced delivery's broker path, e.g. " via b1>b2>b3".

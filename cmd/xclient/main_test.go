@@ -133,4 +133,11 @@ func TestTracedPublishPrintsPath(t *testing.T) {
 	if !strings.Contains(subOut.String(), "via b1") {
 		t.Errorf("subscriber output missing hop path:\n%s", subOut.String())
 	}
+	// The traced delivery also prints the per-hop stage breakdown and the
+	// in-broker versus end-to-end split.
+	for _, want := range []string{"hop b1:", "match=", "in-broker", "end-to-end"} {
+		if !strings.Contains(subOut.String(), want) {
+			t.Errorf("subscriber output missing %q:\n%s", want, subOut.String())
+		}
+	}
 }

@@ -1,9 +1,13 @@
 // Package admin serves a broker's observability endpoints over HTTP:
 //
 //	/metrics        Prometheus text exposition of the metrics registry
+//	/statusz        machine-readable status snapshot (uptime, counter
+//	                rates, per-stage latency quantiles, link health,
+//	                queue depths) — what xtop polls
 //	/debug/traces   JSON dump of the per-hop publication trace ring
 //	                (?id=<trace-id> filters to one publication)
 //	/debug/routes   JSON snapshot of the SRT and PRT routing tables
+//	/debug/slow     JSON dump of the slow-publication flight recorder
 //	/debug/pprof/*  the standard Go profiler endpoints
 //
 // SECURITY: the endpoints are unauthenticated and expose routing state and
@@ -18,22 +22,38 @@ import (
 	"net/http/pprof"
 
 	"repro/internal/metrics"
+	"repro/internal/slowlog"
 	"repro/internal/trace"
 )
 
-// Handler builds the admin mux. Any of reg, ring, and routes may be nil;
-// the corresponding endpoint then responds 404. routes is called per
-// request and must be safe for concurrent use (the broker's Routes method
-// is).
-func Handler(reg *metrics.Registry, ring *trace.Ring, routes func() any) http.Handler {
+// Endpoints collects the components behind the admin mux. Any nil field
+// leaves its endpoint unregistered (404).
+type Endpoints struct {
+	// Metrics backs /metrics.
+	Metrics *metrics.Registry
+	// Traces backs /debug/traces.
+	Traces *trace.Ring
+	// Routes backs /debug/routes; called per request, must be safe for
+	// concurrent use (the broker's Routes method is).
+	Routes func() any
+	// Slow backs /debug/slow.
+	Slow *slowlog.Log
+	// Status backs /statusz.
+	Status *Status
+}
+
+// Handler builds the admin mux from the populated endpoints.
+func (e Endpoints) Handler() http.Handler {
 	mux := http.NewServeMux()
-	if reg != nil {
+	if e.Metrics != nil {
+		reg := e.Metrics
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			reg.WritePrometheus(w)
 		})
 	}
-	if ring != nil {
+	if e.Traces != nil {
+		ring := e.Traces
 		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 			if id := r.URL.Query().Get("id"); id != "" {
 				writeJSON(w, ring.ByID(id))
@@ -42,9 +62,26 @@ func Handler(reg *metrics.Registry, ring *trace.Ring, routes func() any) http.Ha
 			writeJSON(w, ring.Snapshot())
 		})
 	}
-	if routes != nil {
+	if e.Routes != nil {
+		routes := e.Routes
 		mux.HandleFunc("/debug/routes", func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, routes())
+		})
+	}
+	if e.Slow != nil {
+		slow := e.Slow
+		mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, struct {
+				ThresholdSeconds float64         `json:"threshold_seconds"`
+				Total            int64           `json:"total"`
+				Entries          []slowlog.Entry `json:"entries"`
+			}{slow.Threshold().Seconds(), slow.Total(), slow.Snapshot()})
+		})
+	}
+	if e.Status != nil {
+		st := e.Status
+		mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, st.Snapshot())
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -53,6 +90,13 @@ func Handler(reg *metrics.Registry, ring *trace.Ring, routes func() any) http.Ha
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// Handler builds the admin mux from the three original components. It
+// predates Endpoints and keeps its signature for existing callers; new code
+// should populate Endpoints directly.
+func Handler(reg *metrics.Registry, ring *trace.Ring, routes func() any) http.Handler {
+	return Endpoints{Metrics: reg, Traces: ring, Routes: routes}.Handler()
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

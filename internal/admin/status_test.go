@@ -1,0 +1,181 @@
+package admin
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/metrics"
+	"repro/internal/slowlog"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+
+	"net/http/httptest"
+)
+
+// TestStatusRates drives Snapshot with a fake clock: the first scrape has no
+// baseline so no rates, subsequent scrapes report (cur-prev)/dt, and a
+// counter that went backwards (a restarted broker re-registering the same
+// series) is treated as reset — the delta is the post-reset value, never
+// negative.
+func TestStatusRates(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("xbroker_msgs_in_total", "", "type", "publish")
+	c.Add(100)
+
+	clock := time.Unix(1000, 0)
+	st := &Status{
+		Broker:   "b1",
+		Started:  clock.Add(-time.Minute),
+		Registry: reg,
+		Now:      func() time.Time { return clock },
+	}
+	key := `xbroker_msgs_in_total{type="publish"}`
+
+	first := st.Snapshot()
+	if first.RatesPerSec != nil {
+		t.Errorf("first scrape has rates: %v", first.RatesPerSec)
+	}
+	if first.Counters[key] != 100 {
+		t.Errorf("counters = %v", first.Counters)
+	}
+	if got := first.UptimeSeconds; got != 60 {
+		t.Errorf("uptime = %v, want 60", got)
+	}
+
+	c.Add(50)
+	clock = clock.Add(10 * time.Second)
+	second := st.Snapshot()
+	if got := second.RatesPerSec[key]; got != 5 {
+		t.Errorf("rate after +50 over 10s = %v, want 5", got)
+	}
+
+	// Counter reset: swap in a fresh registry whose series restarts at 30.
+	reg2 := metrics.NewRegistry()
+	reg2.Counter("xbroker_msgs_in_total", "", "type", "publish").Add(30)
+	st.Registry = reg2
+	clock = clock.Add(10 * time.Second)
+	third := st.Snapshot()
+	if got := third.RatesPerSec[key]; got != 3 {
+		t.Errorf("rate after reset to 30 over 10s = %v, want 3 (reset convention)", got)
+	}
+}
+
+// TestStatusAndSlowUnderConcurrentPublish serves /statusz and /debug/slow
+// while the broker's publish path runs hot from several goroutines — the
+// scrape path and the data plane share the registry, the histograms, and
+// the flight recorder, so this is the race-detector workout for the whole
+// observability layer (run with -race in CI).
+func TestStatusAndSlowUnderConcurrentPublish(t *testing.T) {
+	reg := metrics.NewRegistry()
+	slow := slowlog.New(time.Nanosecond, 16) // capture everything
+	queues := func() map[string]int { return map[string]int{"b2": 3} }
+	br := broker.New(broker.Config{ID: "b1", Metrics: reg, SlowLog: slow, QueueDepths: queues},
+		func(to string, m *broker.Message) {})
+	br.AddClient("sub")
+	br.HandleMessage(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/stock//price")}, "sub")
+
+	srv := httptest.NewServer(Endpoints{
+		Metrics: reg,
+		Slow:    slow,
+		Status: &Status{
+			Broker:   "b1",
+			Started:  time.Now(),
+			Registry: reg,
+			Queues:   queues,
+			Slow:     slow,
+		},
+	}.Handler())
+	defer srv.Close()
+
+	const publishers, perPub = 4, 250
+	var wg sync.WaitGroup
+	for g := 0; g < publishers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pub := xmldoc.Publication{Path: []string{"stock", "quote", "price"}}
+			for i := 0; i < perPub; i++ {
+				br.HandleMessage(&broker.Message{Type: broker.MsgPublish, Pub: pub}, "producer")
+			}
+		}()
+	}
+	// Scrape both endpoints concurrently with the publishing.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				var snap StatusSnapshot
+				body, _ := get(t, srv.URL+"/statusz")
+				if err := json.Unmarshal([]byte(body), &snap); err != nil {
+					t.Errorf("/statusz mid-publish: %v", err)
+				}
+				get(t, srv.URL+"/debug/slow")
+			}
+		}()
+	}
+	wg.Wait()
+
+	var snap StatusSnapshot
+	body, _ := get(t, srv.URL+"/statusz")
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/statusz: %v\n%s", err, body)
+	}
+	if snap.Broker != "b1" {
+		t.Errorf("broker = %q", snap.Broker)
+	}
+	total := float64(publishers * perPub)
+	if got := snap.Counters[`xbroker_msgs_in_total{type="publish"}`]; got != total {
+		t.Errorf("publish counter = %v, want %v", got, total)
+	}
+	stages := make(map[string]StageQuantiles, len(snap.Stages))
+	for i, s := range snap.Stages {
+		stages[s.Stage] = s
+		if i > 0 && stageOrder[snap.Stages[i-1].Stage] > stageOrder[s.Stage] {
+			t.Errorf("stages out of pipeline order: %s before %s", snap.Stages[i-1].Stage, s.Stage)
+		}
+	}
+	for _, name := range []string{"match", "filter", "enqueue"} {
+		s, ok := stages[name]
+		if !ok || s.Count != int64(total) {
+			t.Errorf("stage %s = %+v, want count %v", name, s, total)
+		}
+		if s.P50 < 0 || s.P50 > s.P90 || s.P90 > s.P99 {
+			t.Errorf("stage %s quantiles not monotone: %+v", name, s)
+		}
+	}
+	if snap.SlowTotal != int64(total) {
+		t.Errorf("slow_total = %d, want %v (1ns threshold captures all)", snap.SlowTotal, total)
+	}
+	if snap.Queues["b2"] != 3 {
+		t.Errorf("queues = %v", snap.Queues)
+	}
+
+	// /debug/slow: well-formed envelope, ring at capacity, entries carry
+	// stage breakdowns and the queue-depth snapshot.
+	var slowDoc struct {
+		ThresholdSeconds float64         `json:"threshold_seconds"`
+		Total            int64           `json:"total"`
+		Entries          []slowlog.Entry `json:"entries"`
+	}
+	body, ctype := get(t, srv.URL+"/debug/slow")
+	if ctype != "application/json" {
+		t.Errorf("/debug/slow content type = %q", ctype)
+	}
+	if err := json.Unmarshal([]byte(body), &slowDoc); err != nil {
+		t.Fatalf("/debug/slow: %v\n%s", err, body)
+	}
+	if slowDoc.Total != int64(total) || len(slowDoc.Entries) != 16 {
+		t.Errorf("/debug/slow total=%d entries=%d, want %v and 16", slowDoc.Total, len(slowDoc.Entries), total)
+	}
+	e := slowDoc.Entries[len(slowDoc.Entries)-1]
+	if e.Broker != "b1" || len(e.Stages) == 0 || len(e.Destinations) != 1 || e.Destinations[0] != "sub" {
+		t.Errorf("slow entry = %+v", e)
+	}
+	if e.QueueDepths["b2"] != 3 {
+		t.Errorf("slow entry queue depths = %v", e.QueueDepths)
+	}
+}

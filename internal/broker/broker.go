@@ -11,6 +11,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/merge"
 	"repro/internal/metrics"
+	"repro/internal/slowlog"
 	"repro/internal/stream"
 	"repro/internal/subtree"
 	"repro/internal/symtab"
@@ -89,7 +90,8 @@ type Config struct {
 	DisableStreaming bool
 
 	// Metrics, when non-nil, receives the broker's instruments: the
-	// match-latency histogram (labelled by routing strategy) plus
+	// match-latency histogram (labelled by routing strategy), the
+	// per-stage publish-path histograms (xbroker_stage_seconds), plus
 	// func-backed counters and gauges reading the broker's existing
 	// atomics and table sizes at exposition time, so the publish data
 	// plane gains no new contention. Nil disables instrumentation.
@@ -98,6 +100,15 @@ type Config struct {
 	// publication crossing this broker (see Message.TraceID). Events are
 	// recorded after the routing lock is released.
 	TraceSink trace.Sink
+	// SlowLog, when non-nil, is the slow-publication flight recorder: any
+	// publication whose measured in-broker time (decode + queue + match +
+	// filter + enqueue) reaches SlowLog.Threshold() is captured with its
+	// full stage breakdown. Healthy publications pay one comparison.
+	SlowLog *slowlog.Log
+	// QueueDepths, when non-nil, snapshots the transport's per-peer send
+	// queue depths; it is called only when a slow publication is captured
+	// (never on the healthy hot path). The TCP transport installs it.
+	QueueDepths func() map[string]int
 }
 
 // StrategyName renders the routing strategy compactly for metric labels,
@@ -198,6 +209,13 @@ type Broker struct {
 	// matchSeconds is the pre-resolved match-latency histogram (nil when
 	// Config.Metrics is nil), so the hot path never touches the registry.
 	matchSeconds *metrics.Histogram
+	// Per-stage publish-path histograms (xbroker_stage_seconds{stage=...}),
+	// pre-resolved like matchSeconds; all nil when Config.Metrics is nil.
+	// The decode and flush stages live in the transport, which measures
+	// them (see package transport).
+	stageQueue, stageMatch, stageFilter, stageEnqueue *metrics.Histogram
+	// slow mirrors Config.SlowLog for the hot-path nil check.
+	slow *slowlog.Log
 	// nfaBuildSeconds times shared-automaton recompilation at snapshot
 	// publication (control-plane time; nil when Config.Metrics is nil).
 	nfaBuildSeconds *metrics.Histogram
@@ -237,6 +255,7 @@ func New(cfg Config, send func(to string, m *Message)) *Broker {
 		clientSubs: make(map[string]*subtree.Tree),
 	}
 	b.snap.Store(emptySnapshot())
+	b.slow = cfg.SlowLog
 	if cfg.Metrics != nil {
 		b.registerMetrics(cfg.Metrics)
 	}
@@ -252,6 +271,24 @@ func (b *Broker) registerMetrics(reg *metrics.Registry) {
 	b.matchSeconds = reg.Histogram("xbroker_match_seconds",
 		"Publication match latency in seconds, by routing strategy.",
 		metrics.DefBuckets, "strategy", strategy)
+	const stageHelp = "Publish-path stage latency in seconds, by pipeline stage " +
+		"(decode, queue, match, filter, enqueue, flush — see DESIGN.md §5f)."
+	b.stageQueue = reg.Histogram("xbroker_stage_seconds", stageHelp,
+		metrics.DefBuckets, "stage", trace.StageQueue)
+	b.stageMatch = reg.Histogram("xbroker_stage_seconds", stageHelp,
+		metrics.DefBuckets, "stage", trace.StageMatch)
+	b.stageFilter = reg.Histogram("xbroker_stage_seconds", stageHelp,
+		metrics.DefBuckets, "stage", trace.StageFilter)
+	b.stageEnqueue = reg.Histogram("xbroker_stage_seconds", stageHelp,
+		metrics.DefBuckets, "stage", trace.StageEnqueue)
+	if b.slow != nil {
+		reg.CounterFunc("xbroker_slow_publications_total",
+			"Publications captured by the slow-publication flight recorder (/debug/slow).",
+			func() float64 { return float64(b.slow.Total()) })
+		reg.GaugeFunc("xbroker_slow_threshold_seconds",
+			"In-broker latency above which a publication is captured by the flight recorder.",
+			func() float64 { return b.slow.Threshold().Seconds() })
+	}
 	reg.CounterFunc("xbroker_deliveries_total",
 		"Publications handed to local clients.",
 		func() float64 { return float64(b.stats.deliveries.Load()) })
@@ -832,9 +869,22 @@ func (b *Broker) runMergePass() {
 // untraced traffic returns nil.
 func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
 	snap := b.snap.Load()
-	var start time.Time
-	if b.matchSeconds != nil {
-		start = time.Now()
+	// Per-stage spans are measured only when someone will read them — an
+	// attached metrics registry, the flight recorder, or a trace. For
+	// untraced publications on an uninstrumented broker, measure is false and
+	// the handler performs no clock reads at all; sp lives on the stack
+	// either way, so the span machinery costs the hot path zero allocations.
+	var sp pubSpan
+	measure := b.stageMatch != nil || b.slow != nil || m.TraceID != ""
+	if measure {
+		sp.start = time.Now()
+		var enqueued time.Time
+		sp.decode, enqueued = m.Arrival()
+		if !enqueued.IsZero() {
+			if sp.queue = sp.start.Sub(enqueued); sp.queue < 0 {
+				sp.queue = 0
+			}
+		}
 	}
 	// Collect next hops from all matching subscriptions — one shared-NFA
 	// run per document or path when the snapshot carries the automaton
@@ -912,35 +962,36 @@ func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
 			}
 		}
 	}
-	if b.matchSeconds != nil {
-		b.matchSeconds.Observe(time.Since(start).Seconds())
+	var matchEnd time.Time
+	if measure {
+		matchEnd = time.Now()
+		sp.match = matchEnd.Sub(sp.start)
+		if b.matchSeconds != nil {
+			b.matchSeconds.Observe(sp.match.Seconds())
+		}
 	}
 	ordered := make([]string, 0, len(hops))
 	for hop := range hops {
 		ordered = append(ordered, hop)
 	}
 	sort.Strings(ordered)
-	// Traced publications travel on as a copy with this broker appended to
-	// the hop list; the received message is never mutated (simulator peers
-	// share message pointers).
-	fwd := m
 	var ev *trace.Event
+	var nowWall int64
 	if m.TraceID != "" {
-		now := time.Now().UnixNano()
-		hopList := make([]trace.Hop, 0, len(m.Hops)+1)
-		hopList = append(hopList, m.Hops...)
-		hopList = append(hopList, trace.Hop{Broker: b.cfg.ID, UnixNano: now, Epoch: snap.epoch})
-		cp := *m
-		cp.Hops = hopList
-		fwd = &cp
+		nowWall = time.Now().UnixNano()
 		ev = &trace.Event{
 			TraceID:      m.TraceID,
 			Broker:       b.cfg.ID,
 			From:         from,
-			Hops:         hopList,
-			RecvUnixNano: now,
+			RecvUnixNano: nowWall,
 		}
 	}
+	// Filter pass: apply edge filtering and trace accounting, compacting the
+	// surviving hops in place (kept shares ordered's backing array, so the
+	// two-pass structure allocates nothing). Nothing is emitted yet — the
+	// traced hop record sealed below can then carry the filter stage's
+	// duration.
+	kept := ordered[:0]
 	for _, hop := range ordered {
 		if snap.clients[hop] {
 			// Edge filtering: imperfect mergers must not leak false
@@ -964,7 +1015,108 @@ func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
 		} else if ev != nil {
 			ev.ForwardedTo = append(ev.ForwardedTo, hop)
 		}
+		kept = append(kept, hop)
+	}
+	var filterEnd time.Time
+	if measure {
+		filterEnd = time.Now()
+		sp.filter = filterEnd.Sub(matchEnd)
+	}
+	// Traced publications travel on as a copy with this broker appended to
+	// the hop list; the received message is never mutated (simulator peers
+	// share message pointers). The hop is sealed after the filter pass so its
+	// stage list carries decode, queue, match, and filter; enqueue and flush
+	// happen later and appear in histograms and the inter-hop wall-clock gap.
+	fwd := m
+	if ev != nil {
+		hopList := make([]trace.Hop, 0, len(m.Hops)+1)
+		hopList = append(hopList, m.Hops...)
+		hopList = append(hopList, trace.Hop{
+			Broker:   b.cfg.ID,
+			UnixNano: nowWall,
+			Epoch:    snap.epoch,
+			Stages:   sp.hopStages(),
+		})
+		cp := *m
+		cp.Hops = hopList
+		fwd = &cp
+		ev.Hops = hopList
+	}
+	for _, hop := range kept {
 		b.emit(hop, fwd)
 	}
+	if measure {
+		sp.enqueue = time.Since(filterEnd)
+		b.observeSpan(&sp)
+		if b.slow != nil && sp.total() >= b.slow.Threshold() {
+			b.recordSlow(&sp, fwd, from, snap, len(paths), kept)
+		}
+	}
 	return ev
+}
+
+// pubSpan accumulates one publication's per-stage timings on the broker's
+// monotonic clock. It lives on the publish handler's stack; handlePublish
+// decides whether it is measured at all.
+type pubSpan struct {
+	start   time.Time
+	decode  time.Duration
+	queue   time.Duration
+	match   time.Duration
+	filter  time.Duration
+	enqueue time.Duration
+}
+
+// total is the publication's in-broker time — the value the flight
+// recorder's threshold is compared against.
+func (s *pubSpan) total() time.Duration {
+	return s.decode + s.queue + s.match + s.filter + s.enqueue
+}
+
+// hopStages renders the stages known at hop-append time. Enqueue and flush
+// happen after the hop record is sealed; across brokers they are part of the
+// wall-clock gap between consecutive hop stamps.
+func (s *pubSpan) hopStages() []trace.StageDur {
+	return []trace.StageDur{
+		{Stage: trace.StageDecode, Nanos: int64(s.decode)},
+		{Stage: trace.StageQueue, Nanos: int64(s.queue)},
+		{Stage: trace.StageMatch, Nanos: int64(s.match)},
+		{Stage: trace.StageFilter, Nanos: int64(s.filter)},
+	}
+}
+
+// observeSpan feeds the broker-side stage histograms. Decode and flush are
+// observed by the transport that measures them (see package transport).
+func (b *Broker) observeSpan(sp *pubSpan) {
+	if b.stageQueue == nil {
+		return
+	}
+	b.stageQueue.Observe(sp.queue.Seconds())
+	b.stageMatch.Observe(sp.match.Seconds())
+	b.stageFilter.Observe(sp.filter.Seconds())
+	b.stageEnqueue.Observe(sp.enqueue.Seconds())
+}
+
+// recordSlow captures one over-threshold publication into the flight
+// recorder. It runs only for already-slow publications, so its allocations
+// and the QueueDepths callback stay off the healthy hot path.
+func (b *Broker) recordSlow(sp *pubSpan, m *Message, from string, snap *routeSnapshot, pathCount int, dests []string) {
+	e := slowlog.Entry{
+		Broker:     b.cfg.ID,
+		From:       from,
+		TraceID:    m.TraceID,
+		UnixNano:   time.Now().UnixNano(),
+		TotalNanos: int64(sp.total()),
+		Stages: append(sp.hopStages(),
+			trace.StageDur{Stage: trace.StageEnqueue, Nanos: int64(sp.enqueue)}),
+		DocBytes:     len(m.Raw),
+		Paths:        pathCount,
+		Epoch:        snap.epoch,
+		Hops:         len(m.Hops),
+		Destinations: append([]string(nil), dests...),
+	}
+	if b.cfg.QueueDepths != nil {
+		e.QueueDepths = b.cfg.QueueDepths()
+	}
+	b.slow.Record(e)
 }

@@ -10,6 +10,7 @@ package broker
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/advert"
 	"repro/internal/trace"
@@ -113,6 +114,27 @@ type Message struct {
 	// full upstream path. Brokers never mutate a received hop list; they
 	// forward an appended copy.
 	Hops []trace.Hop
+
+	// Receive-side span metadata, set by the local transport before the
+	// publication reaches the broker. Unexported on purpose: gob skips
+	// unexported fields, so the values are process-local and reset on every
+	// wire crossing — a peer can neither see nor forge them.
+	arrivalDecode   time.Duration // wire read + decode time of this frame
+	arrivalEnqueued time.Time     // when the frame entered the matching queue
+}
+
+// SetArrival records the receive-side timings of a publication: how long
+// the transport spent reading and decoding the frame, and when it was
+// handed to the matching queue. The broker folds both into the publication's
+// stage spans (decode and queue). The zero time disables the queue span.
+func (m *Message) SetArrival(decode time.Duration, enqueued time.Time) {
+	m.arrivalDecode = decode
+	m.arrivalEnqueued = enqueued
+}
+
+// Arrival returns the receive-side timings recorded by SetArrival.
+func (m *Message) Arrival() (decode time.Duration, enqueued time.Time) {
+	return m.arrivalDecode, m.arrivalEnqueued
 }
 
 // String renders a short description for logs.

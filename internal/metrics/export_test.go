@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileFromBuckets(t *testing.T) {
+	upper := []float64{0.1, 0.5, 1}
+	tests := []struct {
+		name string
+		cum  []int64 // one per finite bound, plus the +Inf total
+		q    float64
+		want float64
+	}{
+		{"empty", []int64{0, 0, 0, 0}, 0.5, 0},
+		// 10 observations all in the first bucket: interpolate within [0, 0.1].
+		{"first bucket midpoint", []int64{10, 10, 10, 10}, 0.5, 0.05},
+		{"first bucket p90", []int64{10, 10, 10, 10}, 0.9, 0.09},
+		// Uniform spread: 4 per bucket, 12 total, +Inf empty.
+		{"across buckets", []int64{4, 8, 12, 12}, 0.5, 0.3},
+		// Rank falls in the +Inf bucket: clamp to the highest finite bound.
+		{"inf bucket clamps", []int64{4, 8, 12, 16}, 0.99, 1},
+		{"q clamped low", []int64{10, 10, 10, 10}, -1, 0},
+		{"q clamped high", []int64{10, 10, 10, 10}, 2, 0.1},
+	}
+	for _, tt := range tests {
+		got := QuantileFromBuckets(upper, tt.cum, tt.q)
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("%s: QuantileFromBuckets(q=%v) = %v, want %v", tt.name, tt.q, got, tt.want)
+		}
+	}
+	// Mismatched layout degrades to 0 rather than panicking.
+	if got := QuantileFromBuckets(upper, []int64{1, 2}, 0.5); got != 0 {
+		t.Errorf("mismatched layout = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05) // all in the (0.01, 0.1] bucket
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0.01 || p50 > 0.1 {
+		t.Errorf("p50 = %v, want within (0.01, 0.1]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+}
+
+func TestRegistryExport(t *testing.T) {
+	reg := testRegistry()
+	points := reg.Export()
+	byKey := make(map[string]SeriesPoint, len(points))
+	for i, p := range points {
+		byKey[p.Key] = p
+		if i > 0 && points[i-1].Name > p.Name {
+			t.Errorf("export not sorted by family: %s before %s", points[i-1].Name, p.Name)
+		}
+	}
+
+	c, ok := byKey[`test_requests_total{code="200"}`]
+	if !ok || c.Type != "counter" || c.Value != 3 {
+		t.Errorf("counter export = %+v", c)
+	}
+	if c.Labels["code"] != "200" {
+		t.Errorf("counter labels = %v", c.Labels)
+	}
+
+	g, ok := byKey["test_table_size"]
+	if !ok || g.Type != "gauge" || g.Value != 42.5 {
+		t.Errorf("func gauge export = %+v", g)
+	}
+
+	h, ok := byKey[`test_stage_seconds{stage="match"}`]
+	if !ok || h.Type != "histogram" || h.Histogram == nil {
+		t.Fatalf("histogram export = %+v", h)
+	}
+	hd := h.Histogram
+	if hd.Count != 2 || math.Abs(hd.Sum-0.0055) > 1e-12 {
+		t.Errorf("histogram data = %+v", hd)
+	}
+	if len(hd.Cumulative) != len(hd.Upper)+1 {
+		t.Errorf("cumulative layout: %d counts for %d bounds", len(hd.Cumulative), len(hd.Upper))
+	}
+	if q := hd.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Errorf("exported histogram p50 = %v, want within (0, 0.01]", q)
+	}
+
+	// The export is a snapshot: mutating the source histogram afterwards
+	// must not change already-exported data.
+	reg.Histogram("test_stage_seconds", "", nil, "stage", "match").Observe(1)
+	if hd.Count != 2 {
+		t.Errorf("export aliases live histogram state")
+	}
+}

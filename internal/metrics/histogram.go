@@ -107,3 +107,51 @@ func (h *Histogram) Cumulative() []int64 {
 	}
 	return out
 }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution from the bucket counts, interpolating linearly within the
+// winning bucket — the same estimate Prometheus's histogram_quantile()
+// computes server-side. With no observations it returns 0. A quantile that
+// lands in the +Inf bucket is clamped to the highest finite bound (the
+// histogram cannot know how far past it the samples went).
+func (h *Histogram) Quantile(q float64) float64 {
+	return QuantileFromBuckets(h.upper, h.Cumulative(), q)
+}
+
+// QuantileFromBuckets computes the interpolated q-quantile from histogram
+// bucket data in the Cumulative() layout: upper holds the finite bucket
+// bounds and cum one cumulative count per bound plus a final total
+// (the +Inf slot), so len(cum) == len(upper)+1. It is exported so consumers
+// of a serialised histogram snapshot (the /statusz endpoint, xtop) can
+// compute quantiles without the live *Histogram.
+func QuantileFromBuckets(upper []float64, cum []int64, q float64) float64 {
+	if len(cum) == 0 || len(cum) != len(upper)+1 {
+		return 0
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	i := sort.Search(len(cum), func(i int) bool { return float64(cum[i]) >= rank })
+	if i >= len(upper) {
+		// The quantile falls in the +Inf bucket: the highest finite bound is
+		// the best (lower) estimate available.
+		return upper[len(upper)-1]
+	}
+	lo, below := 0.0, int64(0)
+	if i > 0 {
+		lo, below = upper[i-1], cum[i-1]
+	}
+	inBucket := cum[i] - below
+	if inBucket == 0 {
+		return upper[i]
+	}
+	return lo + (upper[i]-lo)*(rank-float64(below))/float64(inBucket)
+}

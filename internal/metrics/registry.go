@@ -34,7 +34,8 @@ type family struct {
 }
 
 type series struct {
-	labels  string // rendered `{k="v",...}` or ""
+	labels  string   // rendered `{k="v",...}` or ""
+	kv      []string // the original key/value pairs, for Export
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
@@ -123,7 +124,7 @@ func (r *Registry) registerFunc(name, help, typ string, fn func() float64, label
 	}
 	// Series are immutable once published (renderers read them without the
 	// lock), so replacing a callback installs a fresh series object.
-	f.series[key] = &series{labels: key, fn: fn}
+	f.series[key] = &series{labels: key, kv: append([]string(nil), labels...), fn: fn}
 }
 
 func (r *Registry) getOrCreate(name, help, typ string, labels []string, mk func() *series) *series {
@@ -142,6 +143,7 @@ func (r *Registry) getOrCreate(name, help, typ string, labels []string, mk func(
 	if s == nil {
 		s = mk()
 		s.labels = key
+		s.kv = append([]string(nil), labels...)
 		f.series[key] = s
 	}
 	return s
@@ -296,4 +298,62 @@ func formatFloat(v float64) string {
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%g", v)
+}
+
+// SeriesPoint is one series of the registry in machine-readable form — the
+// building block of the /statusz JSON snapshot. Key is the full series
+// identity (name plus rendered labels) and doubles as the stable map key for
+// rate-from-delta computations across scrapes.
+type SeriesPoint struct {
+	Name      string            `json:"name"`
+	Key       string            `json:"key"`
+	Type      string            `json:"type"` // "counter", "gauge", "histogram"
+	Labels    map[string]string `json:"labels,omitempty"`
+	Value     float64           `json:"value,omitempty"`
+	Histogram *HistogramData    `json:"histogram,omitempty"`
+}
+
+// HistogramData is a histogram snapshot in the Cumulative() layout: one
+// cumulative count per finite upper bound plus a final total (the +Inf
+// slot). QuantileFromBuckets consumes it directly.
+type HistogramData struct {
+	Upper      []float64 `json:"upper"`
+	Cumulative []int64   `json:"cumulative"`
+	Sum        float64   `json:"sum"`
+	Count      int64     `json:"count"`
+}
+
+// Quantile estimates the interpolated q-quantile of the snapshot.
+func (h *HistogramData) Quantile(q float64) float64 {
+	return QuantileFromBuckets(h.Upper, h.Cumulative, q)
+}
+
+// Export snapshots every series as data, sorted by family name then label
+// string — the programmatic counterpart of WritePrometheus. Func-backed
+// series are sampled at call time.
+func (r *Registry) Export() []SeriesPoint {
+	var out []SeriesPoint
+	for _, f := range r.snapshot() {
+		for _, s := range f.series {
+			p := SeriesPoint{Name: f.name, Key: f.name + s.labels, Type: f.typ}
+			if len(s.kv) > 0 {
+				p.Labels = make(map[string]string, len(s.kv)/2)
+				for i := 0; i+1 < len(s.kv); i += 2 {
+					p.Labels[s.kv[i]] = s.kv[i+1]
+				}
+			}
+			if s.hist != nil {
+				p.Histogram = &HistogramData{
+					Upper:      append([]float64(nil), s.hist.Buckets()...),
+					Cumulative: s.hist.Cumulative(),
+					Sum:        s.hist.Sum(),
+					Count:      s.hist.Count(),
+				}
+			} else {
+				p.Value = seriesValue(s)
+			}
+			out = append(out, p)
+		}
+	}
+	return out
 }

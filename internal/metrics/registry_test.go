@@ -23,6 +23,13 @@ func testRegistry() *Registry {
 	for _, v := range []float64{0.005, 0.01, 0.5, 2} {
 		h.Observe(v)
 	}
+	// A labelled histogram family — the shape xbroker_stage_seconds uses —
+	// so the golden file pins bucket rendering with merged label sets
+	// ({le=...} spliced into {stage=...}).
+	sh := reg.Histogram("test_stage_seconds", "Stage latency.", []float64{0.001, 0.01}, "stage", "match")
+	sh.Observe(0.0005)
+	sh.Observe(0.005)
+	reg.Histogram("test_stage_seconds", "Stage latency.", []float64{0.001, 0.01}, "stage", "decode").Observe(0.02)
 	return reg
 }
 
@@ -53,7 +60,10 @@ func TestWriteKeyValue(t *testing.T) {
 	}
 	want := `test_latency_seconds_count=4 test_latency_seconds_sum=2.515 ` +
 		`test_queue_depth=7 test_requests_total{code="200"}=3 ` +
-		`test_requests_total{code="500"}=1 test_table_size=42.5`
+		`test_requests_total{code="500"}=1 ` +
+		`test_stage_seconds_count{stage="decode"}=1 test_stage_seconds_sum{stage="decode"}=0.02 ` +
+		`test_stage_seconds_count{stage="match"}=2 test_stage_seconds_sum{stage="match"}=0.0055 ` +
+		`test_table_size=42.5`
 	if b.String() != want {
 		t.Errorf("key=value line:\ngot  %s\nwant %s", b.String(), want)
 	}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/admin"
+	"repro/internal/broker"
+	"repro/internal/metrics"
+	"repro/internal/slowlog"
+)
+
+// TestSimulatedBrokersFeedStatus pins that brokers built by the simulator
+// expose the same observability surface as deployed ones: per-broker stage
+// histograms populate /statusz-style snapshots and the flight recorder
+// captures over-threshold publications — so latency experiments can read
+// stage breakdowns straight out of a simulation.
+func TestSimulatedBrokersFeedStatus(t *testing.T) {
+	n := NewNetwork(1)
+	regs := make(map[string]*metrics.Registry)
+	slows := make(map[string]*slowlog.Log)
+	ids := BuildChain(n, 3, func(id string) broker.Config {
+		regs[id] = metrics.NewRegistry()
+		slows[id] = slowlog.New(time.Nanosecond, 8) // capture everything
+		return broker.Config{
+			ID:                id,
+			UseAdvertisements: true,
+			UseCovering:       true,
+			Metrics:           regs[id],
+			SlowLog:           slows[id],
+		}
+	})
+	pub := n.AddClient("pub", ids[0])
+	sub := n.AddClient("sub", ids[2])
+
+	pub.Send(advMsg("a1", "/stock/quote/price"))
+	n.Run()
+	sub.Send(subMsg("/stock"))
+	n.Run()
+	for i := 0; i < 5; i++ {
+		pub.Send(pubMsg("stock", "quote", "price"))
+	}
+	n.Run()
+	if len(sub.Deliveries) != 5 {
+		t.Fatalf("deliveries = %d, want 5", len(sub.Deliveries))
+	}
+
+	for _, id := range ids {
+		st := &admin.Status{Broker: id, Started: time.Now(), Registry: regs[id], Slow: slows[id]}
+		snap := st.Snapshot()
+		stages := make(map[string]admin.StageQuantiles, len(snap.Stages))
+		for _, s := range snap.Stages {
+			stages[s.Stage] = s
+		}
+		for _, name := range []string{"match", "filter", "enqueue"} {
+			s, ok := stages[name]
+			if !ok || s.Count != 5 {
+				t.Errorf("%s stage %s = %+v, want count 5", id, name, s)
+			}
+		}
+		if snap.SlowTotal != 5 {
+			t.Errorf("%s slow_total = %d, want 5", id, snap.SlowTotal)
+		}
+		entries := slows[id].Snapshot()
+		if len(entries) != 5 || len(entries[0].Stages) == 0 {
+			t.Errorf("%s flight recorder = %d entries (stages %d)", id, len(entries), len(entries[0].Stages))
+		}
+	}
+}

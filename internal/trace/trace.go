@@ -17,6 +17,41 @@ import (
 	"sync"
 )
 
+// Stage names of the broker publish path, in pipeline order. Within one
+// broker every stage is measured on the monotonic clock (time.Since), so
+// stage durations are exact; only the per-hop UnixNano wall stamps compare
+// across brokers (see DESIGN.md §5f for the clock-domain rules).
+const (
+	// StageDecode is wire read + gob decode of the publication frame,
+	// measured by the receiving transport from the arrival of the frame's
+	// first byte.
+	StageDecode = "decode"
+	// StageQueue is the wait in the matching worker pool, from dispatch to
+	// the worker picking the publication up.
+	StageQueue = "queue"
+	// StageMatch is the routing computation: one shared-automaton run (or
+	// the covering tree walk) over the publication's paths or raw bytes.
+	StageMatch = "match"
+	// StageFilter is post-match routing bookkeeping: hop ordering, edge
+	// client filtering, and trace accounting.
+	StageFilter = "filter"
+	// StageEnqueue is handing the publication to every next hop's ordered
+	// send queue; it grows under backpressure from full queues.
+	StageEnqueue = "enqueue"
+	// StageFlush is the send-queue wait plus gob encode to the socket,
+	// measured by the sending transport's writer goroutine. It happens after
+	// the hop record was forwarded, so it appears in histograms but never in
+	// a Hop's stage list — across brokers it is part of the wall-clock gap
+	// between consecutive hop stamps.
+	StageFlush = "flush"
+)
+
+// StageDur is one stage's duration inside one broker crossing.
+type StageDur struct {
+	Stage string `json:"stage"`
+	Nanos int64  `json:"nanos"`
+}
+
 // Hop is one broker crossing, carried in the message frame.
 type Hop struct {
 	// Broker is the crossing broker's ID.
@@ -28,6 +63,31 @@ type Hop struct {
 	// traced publications crossing one broker with different epochs
 	// bracketed a control-plane change.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Stages breaks the crossing into per-stage durations (decode, queue,
+	// match, filter — the stages known when the hop is appended), measured
+	// on the broker's monotonic clock. Send-side time (enqueue, flush, wire)
+	// is the remainder of the wall-clock gap to the next hop.
+	Stages []StageDur `json:"stages,omitempty"`
+}
+
+// StageNanos returns the duration of one named stage, or 0 when absent.
+func (h Hop) StageNanos(stage string) int64 {
+	for _, s := range h.Stages {
+		if s.Stage == stage {
+			return s.Nanos
+		}
+	}
+	return 0
+}
+
+// TotalStageNanos sums the hop's recorded stage durations — the in-broker
+// latency of this crossing.
+func (h Hop) TotalStageNanos() int64 {
+	var t int64
+	for _, s := range h.Stages {
+		t += s.Nanos
+	}
+	return t
 }
 
 // Event is one broker's record of one traced publication passing through.

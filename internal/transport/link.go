@@ -3,6 +3,7 @@ package transport
 import (
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,6 +121,65 @@ func (s *Server) Health() HealthStats {
 		Resyncs:           s.stats.resyncs.Load(),
 		BadFrames:         s.stats.badFrames.Load(),
 	}
+}
+
+// QueueDepths snapshots every live peer connection's outbound send-queue
+// depth, keyed by peer ID. The broker's flight recorder calls it when
+// capturing a slow publication, and /statusz serves it; it reads channel
+// lengths only, so it is safe at any time.
+func (s *Server) QueueDepths() map[string]int {
+	out := make(map[string]int)
+	s.peers.Range(func(k, v any) bool {
+		out[k.(string)] = len(v.(*peerConn).queue)
+		return true
+	})
+	return out
+}
+
+// LinkStatus is one neighbour link's health, served by /statusz.
+type LinkStatus struct {
+	Peer string `json:"peer"`
+	// Up reports a live connection; false covers both an outage mid-redial
+	// and a configured neighbour never yet contacted.
+	Up bool `json:"up"`
+	// QueueDepth is the outbound send queue's current length (0 when down).
+	QueueDepth int `json:"queue_depth"`
+	// Buffered counts control messages held for the next reconnect.
+	Buffered int `json:"buffered,omitempty"`
+	// LastRecvUnixNano is the wall-clock time of the last inbound frame
+	// (heartbeats included); 0 before first contact.
+	LastRecvUnixNano int64 `json:"last_recv_unix_nano,omitempty"`
+}
+
+// Links snapshots the health of every configured neighbour link, sorted by
+// peer ID.
+func (s *Server) Links() []LinkStatus {
+	s.linkMu.Lock()
+	links := make([]*link, 0, len(s.links))
+	for _, l := range s.links {
+		links = append(links, l)
+	}
+	s.linkMu.Unlock()
+	out := make([]LinkStatus, 0, len(links))
+	seen := make(map[string]bool, len(links))
+	for _, l := range links {
+		l.mu.Lock()
+		st := LinkStatus{Peer: l.id, Up: l.pc != nil, Buffered: len(l.buf)}
+		if l.pc != nil {
+			st.QueueDepth = len(l.pc.queue)
+		}
+		l.mu.Unlock()
+		st.LastRecvUnixNano = l.lastRecv.Load()
+		out = append(out, st)
+		seen[l.id] = true
+	}
+	for id := range s.neighbors {
+		if !seen[id] {
+			out = append(out, LinkStatus{Peer: id})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
 }
 
 // link owns one neighbour relationship: the live connection (if any), the

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // hello is the first frame on every connection.
@@ -44,6 +45,14 @@ type hello struct {
 // without bound.
 const sendQueueDepth = 256
 
+// queuedMsg is one outbound message with its enqueue stamp (zero when flush
+// timing is off or the frame is not a publication), so the writer goroutine
+// can observe the flush stage: send-queue wait plus gob encode.
+type queuedMsg struct {
+	m   *broker.Message
+	enq time.Time
+}
+
 // peerConn is one live connection with its ordered send queue. All writes
 // funnel through the queue and are encoded by a single writer goroutine, so
 // messages reach the peer in enqueue order without a per-write lock. The
@@ -51,16 +60,18 @@ const sendQueueDepth = 256
 // the writer is stopped via the stop channel and announces its exit on done.
 type peerConn struct {
 	conn  net.Conn
-	queue chan *broker.Message
-	stop  chan struct{} // signalled by shutdown
-	done  chan struct{} // closed when the writer exits
+	queue chan queuedMsg
+	flush *metrics.Histogram // flush-stage histogram; nil disables timing
+	stop  chan struct{}      // signalled by shutdown
+	done  chan struct{}      // closed when the writer exits
 	once  sync.Once
 }
 
-func newPeerConn(conn net.Conn, enc *gob.Encoder) *peerConn {
+func newPeerConn(conn net.Conn, enc *gob.Encoder, flush *metrics.Histogram) *peerConn {
 	p := &peerConn{
 		conn:  conn,
-		queue: make(chan *broker.Message, sendQueueDepth),
+		queue: make(chan queuedMsg, sendQueueDepth),
+		flush: flush,
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
@@ -70,10 +81,13 @@ func newPeerConn(conn net.Conn, enc *gob.Encoder) *peerConn {
 			select {
 			case <-p.stop:
 				return
-			case m := <-p.queue:
-				if err := enc.Encode(m); err != nil {
+			case qm := <-p.queue:
+				if err := enc.Encode(qm.m); err != nil {
 					p.conn.Close() // unblocks the connection's read loop
 					return
+				}
+				if p.flush != nil && !qm.enq.IsZero() {
+					p.flush.Observe(time.Since(qm.enq).Seconds())
 				}
 			}
 		}
@@ -84,12 +98,16 @@ func newPeerConn(conn net.Conn, enc *gob.Encoder) *peerConn {
 // write enqueues a message for the peer. It reports an error when the
 // writer has already shut down (encode failure or connection close).
 func (p *peerConn) write(m *broker.Message) error {
+	qm := queuedMsg{m: m}
+	if p.flush != nil && m.Type == broker.MsgPublish {
+		qm.enq = time.Now()
+	}
 	select {
 	case <-p.done:
 		return errors.New("transport: peer writer closed")
 	case <-p.stop:
 		return errors.New("transport: peer shutting down")
-	case p.queue <- m:
+	case p.queue <- qm:
 		return nil
 	}
 }
@@ -139,6 +157,13 @@ type Server struct {
 	// depths) next to the broker's.
 	reg *metrics.Registry
 
+	// stageDecode and stageFlush are the transport-measured spans of the
+	// publish path (xbroker_stage_seconds{stage="decode"|"flush"}): the
+	// broker cannot see wire read + decode time or the writer goroutine's
+	// queue-drain + encode time, so the transport observes them. Nil without
+	// a registry.
+	stageDecode, stageFlush *metrics.Histogram
+
 	closed  chan struct{}
 	closeMu sync.Once
 	wg      sync.WaitGroup
@@ -172,6 +197,12 @@ func NewServerOptions(cfg broker.Config, neighbors map[string]string, opts Optio
 		pubQueues: make([]chan pubTask, workers),
 		links:     make(map[string]*link, len(neighbors)),
 	}
+	// The broker's flight recorder snapshots per-peer send-queue depths at
+	// capture time; install the callback before the broker copies its config.
+	if cfg.QueueDepths == nil {
+		cfg.QueueDepths = s.QueueDepths
+		s.cfg = cfg
+	}
 	s.b = broker.New(cfg, s.send)
 	for id := range neighbors {
 		s.b.AddNeighbor(id)
@@ -181,6 +212,12 @@ func NewServerOptions(cfg broker.Config, neighbors map[string]string, opts Optio
 	}
 	if cfg.Metrics != nil {
 		s.reg = cfg.Metrics
+		const stageHelp = "Publish-path stage latency in seconds, by pipeline stage " +
+			"(decode, queue, match, filter, enqueue, flush — see DESIGN.md §5f)."
+		s.stageDecode = s.reg.Histogram("xbroker_stage_seconds", stageHelp,
+			metrics.DefBuckets, "stage", trace.StageDecode)
+		s.stageFlush = s.reg.Histogram("xbroker_stage_seconds", stageHelp,
+			metrics.DefBuckets, "stage", trace.StageFlush)
 		s.reg.GaugeFunc("xbroker_pool_in_flight",
 			"Publications queued or being matched in the worker pool.",
 			func() float64 { return float64(s.InFlight.Load()) })
@@ -300,25 +337,68 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	dec, tr := s.newFrameDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	var h hello
 	if err := dec.Decode(&h); err != nil {
 		return
 	}
 	id := h.ID
-	pc := newPeerConn(conn, enc)
+	pc := newPeerConn(conn, enc, s.stageFlush)
 	if l := s.linkFor(id); l != nil {
 		l.attach(pc)
 		l.resyncAfterAttach()
-		s.readLoop(dec, id, l)
+		s.readLoop(dec, tr, id, l)
 		l.connLost(pc)
 		return
 	}
 	s.addPeer(id, pc)
 	defer s.dropPeer(id, pc)
 	s.b.AddClient(id)
-	s.readLoop(dec, id, nil)
+	s.readLoop(dec, tr, id, nil)
+}
+
+// newFrameDecoder builds the connection's frame decoder, wrapping the
+// connection for decode-stage timing when the server is instrumented (a
+// metrics registry or a flight recorder is attached); tr is nil — and frames
+// untimed — otherwise, so uninstrumented servers read exactly as before.
+func (s *Server) newFrameDecoder(conn net.Conn) (*gob.Decoder, *timedReader) {
+	if s.stageDecode == nil && s.cfg.SlowLog == nil {
+		return gob.NewDecoder(conn), nil
+	}
+	tr := &timedReader{conn: conn}
+	return gob.NewDecoder(tr), tr
+}
+
+// timedReader wraps a connection so the read loop can time the decode stage
+// without counting idle socket wait: it stamps the first Read of each frame
+// that actually returns bytes — when data for the frame arrived — rather
+// than when the read loop started blocking. Reads happen synchronously
+// inside the decoder, so no locking is needed.
+type timedReader struct {
+	conn  net.Conn
+	at    time.Time
+	armed bool
+}
+
+func (r *timedReader) Read(p []byte) (int, error) {
+	n, err := r.conn.Read(p)
+	if !r.armed && n > 0 {
+		r.at = time.Now()
+		r.armed = true
+	}
+	return n, err
+}
+
+// frameStart returns when the current frame's bytes first arrived, falling
+// back to the decode call time for frames served entirely from the
+// decoder's internal buffer, and re-arms the reader for the next frame.
+func (r *timedReader) frameStart(fallback time.Time) time.Time {
+	if !r.armed {
+		return fallback
+	}
+	r.armed = false
+	return r.at
 }
 
 // addPeer publishes a live connection and its queue-depth gauge. The gauge
@@ -353,12 +433,22 @@ func (s *Server) addPeer(id string, pc *peerConn) {
 // Heartbeat frames refresh the link's liveness clock and stop here — they
 // never reach the broker. A frame that decodes into something the broker
 // chokes on must cost this connection, not the process, hence the recover.
-func (s *Server) readLoop(dec *gob.Decoder, id string, l *link) {
+func (s *Server) readLoop(dec *gob.Decoder, tr *timedReader, id string, l *link) {
 	defer func() { recover() }()
 	for {
 		var m broker.Message
+		var decodeStart time.Time
+		if tr != nil {
+			decodeStart = time.Now()
+		}
 		if err := dec.Decode(&m); err != nil {
 			return
+		}
+		var arrived time.Time
+		if tr != nil {
+			// Consumed for every frame so a control frame's arrival stamp
+			// never leaks into the next publication's decode span.
+			arrived = tr.frameStart(decodeStart)
 		}
 		if l != nil {
 			l.lastRecv.Store(time.Now().UnixNano())
@@ -374,6 +464,17 @@ func (s *Server) readLoop(dec *gob.Decoder, id string, l *link) {
 			continue
 		}
 		if m.Type == broker.MsgPublish {
+			if tr != nil {
+				now := time.Now()
+				d := now.Sub(arrived)
+				if d < 0 {
+					d = 0
+				}
+				if s.stageDecode != nil {
+					s.stageDecode.Observe(d.Seconds())
+				}
+				m.SetArrival(d, now)
+			}
 			s.dispatchPublish(&m, id)
 			continue
 		}
@@ -453,7 +554,7 @@ func (s *Server) dialNeighbor(l *link) error {
 		conn.Close()
 		return fmt.Errorf("transport: hello to %s: %w", l.id, err)
 	}
-	pc := newPeerConn(conn, enc)
+	pc := newPeerConn(conn, enc, s.stageFlush)
 	l.attach(pc)
 	l.resyncAfterAttach()
 	// The dialled neighbour speaks back on the same connection.
@@ -461,8 +562,8 @@ func (s *Server) dialNeighbor(l *link) error {
 	go func() {
 		defer s.wg.Done()
 		defer conn.Close()
-		dec := gob.NewDecoder(conn)
-		s.readLoop(dec, l.id, l)
+		dec, tr := s.newFrameDecoder(conn)
+		s.readLoop(dec, tr, l.id, l)
 		l.connLost(pc)
 	}()
 	return nil

@@ -20,17 +20,24 @@ import (
 // HealthStats.BadFrames. The bounds are far above anything the system
 // generates — they exist to cap hostile input, not to constrain use.
 const (
-	maxWireSteps    = 64      // location steps per subscription
-	maxWireName     = 256     // bytes per element name, attribute, or ID
-	maxWirePath     = 256     // elements per publication path
-	maxWireAdvItems = 256     // advertisement items, groups included
-	maxWireAdvDepth = 8       // advertisement group nesting
-	maxWireResync   = 1 << 16 // entries per resync list (a claim spans a whole SRT; one DTD is ~4k adverts)
-	maxWireDocElems = 1 << 16 // elements per whole-document publication
-	maxWireDocDepth = maxWirePath
-	maxWireHops     = 1024    // carried trace hops
-	maxWireRawDoc   = 1 << 20 // bytes per raw-XML publication body
+	maxWireSteps     = 64      // location steps per subscription
+	maxWireName      = 256     // bytes per element name, attribute, or ID
+	maxWirePath      = 256     // elements per publication path
+	maxWireAdvItems  = 256     // advertisement items, groups included
+	maxWireAdvDepth  = 8       // advertisement group nesting
+	maxWireResync    = 1 << 16 // entries per resync list (a claim spans a whole SRT; one DTD is ~4k adverts)
+	maxWireDocElems  = 1 << 16 // elements per whole-document publication
+	maxWireDocDepth  = maxWirePath
+	maxWireHops      = 1024    // carried trace hops
+	maxWireRawDoc    = 1 << 20 // bytes per raw-XML publication body
+	maxWireHopStages = 16      // per-stage durations per carried hop
+	maxWireStageName = 32      // bytes per stage name (real names are ≤ 7)
 )
+
+// maxWireStageNanos caps a carried stage duration at one hour: durations are
+// measured monotonic timings, so a larger (or negative) value can only be a
+// forged frame, and admitting it would poison latency aggregation downstream.
+const maxWireStageNanos = int64(3600) * 1e9
 
 // checkWire validates one inbound frame against the wire bounds and the
 // constructor invariants of its payload. It also normalises the frame:
@@ -129,6 +136,22 @@ func checkWirePublish(m *broker.Message) error {
 	}
 	if len(m.Hops) > maxWireHops {
 		return fmt.Errorf("publication carrying %d hops exceeds %d", len(m.Hops), maxWireHops)
+	}
+	for _, h := range m.Hops {
+		if len(h.Broker) > maxWireName {
+			return fmt.Errorf("hop broker id of %d bytes exceeds %d", len(h.Broker), maxWireName)
+		}
+		if len(h.Stages) > maxWireHopStages {
+			return fmt.Errorf("hop carrying %d stage durations exceeds %d", len(h.Stages), maxWireHopStages)
+		}
+		for _, sd := range h.Stages {
+			if len(sd.Stage) > maxWireStageName {
+				return fmt.Errorf("hop stage name of %d bytes exceeds %d", len(sd.Stage), maxWireStageName)
+			}
+			if sd.Nanos < 0 || sd.Nanos > maxWireStageNanos {
+				return fmt.Errorf("hop stage duration %dns outside [0, %dns]", sd.Nanos, maxWireStageNanos)
+			}
+		}
 	}
 	if len(m.Raw) > maxWireRawDoc {
 		return fmt.Errorf("raw document of %d bytes exceeds %d", len(m.Raw), maxWireRawDoc)

@@ -3,11 +3,13 @@ package transport
 import (
 	"encoding/gob"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/broker"
 	"repro/internal/symtab"
+	"repro/internal/trace"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
@@ -69,6 +71,58 @@ func TestWireRawPublicationBounds(t *testing.T) {
 		{"raw-malformed-passes", &broker.Message{Type: broker.MsgPublish, Raw: []byte("<a><b></a>")}, true},
 		{"raw-and-doc", &broker.Message{Type: broker.MsgPublish,
 			Raw: []byte("<a/>"), Doc: &xmldoc.Document{Root: xmldoc.NewElem("a")}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkWire(tc.msg)
+			if tc.ok && err != nil {
+				t.Fatalf("checkWire: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("checkWire accepted a frame it must reject")
+			}
+		})
+	}
+}
+
+// Carried trace hops ride every publication frame, stage durations
+// included, so a hostile peer can try to smuggle unbounded hop lists,
+// oversized stage names, or absurd durations that would poison latency
+// aggregation downstream. Every bound — and both boundary-accept cases —
+// is pinned here.
+func TestWireHopStageBounds(t *testing.T) {
+	// A full-width but legitimate hop: 16 stages, 1h durations, max-length
+	// broker id — everything at the cap exactly.
+	atCap := trace.Hop{Broker: strings.Repeat("b", maxWireName)}
+	for i := 0; i < maxWireHopStages; i++ {
+		atCap.Stages = append(atCap.Stages, trace.StageDur{
+			Stage: strings.Repeat("s", maxWireStageName),
+			Nanos: maxWireStageNanos,
+		})
+	}
+	overStages := trace.Hop{Broker: "b1"}
+	for i := 0; i < maxWireHopStages+1; i++ {
+		overStages.Stages = append(overStages.Stages, trace.StageDur{Stage: "match", Nanos: 1})
+	}
+	pub := func(hops ...trace.Hop) *broker.Message {
+		return &broker.Message{Type: broker.MsgPublish, Raw: []byte("<a/>"), Hops: hops}
+	}
+	cases := []struct {
+		name string
+		msg  *broker.Message
+		ok   bool
+	}{
+		{"hop-with-stages", pub(trace.Hop{Broker: "b1", Stages: []trace.StageDur{
+			{Stage: "decode", Nanos: 1200}, {Stage: "match", Nanos: 50000}}}), true},
+		{"hop-at-every-cap", pub(atCap), true},
+		{"hop-broker-over-name-cap", pub(trace.Hop{Broker: strings.Repeat("b", maxWireName+1)}), false},
+		{"hop-over-stage-count", pub(overStages), false},
+		{"stage-name-over-cap", pub(trace.Hop{Broker: "b1", Stages: []trace.StageDur{
+			{Stage: strings.Repeat("s", maxWireStageName+1), Nanos: 1}}}), false},
+		{"stage-negative-nanos", pub(trace.Hop{Broker: "b1", Stages: []trace.StageDur{
+			{Stage: "match", Nanos: -1}}}), false},
+		{"stage-absurd-nanos", pub(trace.Hop{Broker: "b1", Stages: []trace.StageDur{
+			{Stage: "match", Nanos: maxWireStageNanos + 1}}}), false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
