@@ -1,0 +1,269 @@
+package xmlrouter
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/pmatch"
+	"repro/internal/symtab"
+	"repro/internal/xpath"
+)
+
+// This file measures the control-plane cost the sharded matching engine
+// (DESIGN.md §5g) exists to bound: with a single monolithic automaton every
+// subscribe/unsubscribe recompiles the whole table, so rebuild time grows
+// linearly with the subscriber count; with N shards a change recompiles only
+// the ~1/N of the table its root symbol hashes to. BENCH_churn.json records
+// measured numbers (TestEmitChurnBench writes it).
+
+// churnXPEs generates n distinct subscriptions over a BOUNDED 200-name
+// element alphabet — like a real DTD-driven workload, where a million
+// subscribers share a few hundred element names. Uniqueness is structural,
+// not symbolic: the trailing three steps spell base+i in base 200, so no
+// broker-level subscribe is ever a no-op duplicate and disjoint base ranges
+// yield disjoint sets. (Interning a fresh name per subscription would be
+// unrealistic AND quadratic: symtab's copy-on-write snapshot is rebuilt per
+// new name, by design, because element alphabets are small.) A random one-
+// to-three-step prefix spreads roots across shards; one in ten expressions
+// is relative and lands in the wild shard.
+func churnXPEs(base, n int, seed int64) []*xpath.XPE {
+	r := rand.New(rand.NewSource(seed))
+	names := make([]string, 200)
+	for i := range names {
+		names[i] = fmt.Sprintf("e%d", i)
+	}
+	out := make([]*xpath.XPE, n)
+	for i := range out {
+		prefix := 1 + r.Intn(3)
+		steps := make([]xpath.Step, 0, prefix+3)
+		for j := 0; j < prefix; j++ {
+			axis := xpath.Child
+			if j > 0 && r.Intn(4) == 0 {
+				axis = xpath.Descendant
+			}
+			name := names[r.Intn(len(names))]
+			if j > 0 && r.Intn(10) == 0 {
+				name = xpath.Wildcard
+			}
+			steps = append(steps, xpath.Step{Axis: axis, Name: name})
+		}
+		for v, k := base+i, 0; k < 3; k++ {
+			steps = append(steps, xpath.Step{Axis: xpath.Child, Name: names[v%len(names)]})
+			v /= len(names)
+		}
+		out[i] = xpath.New(r.Intn(10) == 0, steps...)
+	}
+	return out
+}
+
+// shardBuckets partitions expressions by ShardIndex for an n-shard table.
+func shardBuckets(xs []*xpath.XPE, n int) [][]*xpath.XPE {
+	buckets := make([][]*xpath.XPE, pmatch.Slots(n))
+	for _, x := range xs {
+		slot := pmatch.ShardIndex(x, n)
+		buckets[slot] = append(buckets[slot], x)
+	}
+	return buckets
+}
+
+// buildSlot compiles one bucket into an automaton, returning the build time.
+func buildSlot(bucket []*xpath.XPE) (time.Duration, *pmatch.Automaton) {
+	start := time.Now()
+	b := pmatch.NewBuilder()
+	for i, x := range bucket {
+		b.Add(x, i)
+	}
+	a := b.Build()
+	return time.Since(start), a
+}
+
+// BenchmarkControlChurn measures steady-state control-plane churn through
+// the real broker: one subscribe of a fresh expression plus its unsubscribe
+// per op, against a pre-populated table. shards=1 recompiles the full
+// automaton on every change; shards=8 only the affected slot.
+// churnBrokerTableSize is the pre-populated table behind
+// BenchmarkControlChurn. Populating a shards=1 broker is O(N^2) — every
+// subscribe recompiles the whole table, which is the very cost being
+// measured — so the size stays modest and the built brokers are cached
+// across benchmark rounds (each measured op is a subscribe+unsubscribe
+// pair, so the table always returns to its initial contents).
+const churnBrokerTableSize = 2000
+
+var churnBrokers = map[int]*broker.Broker{}
+
+func churnBroker(shards int) *broker.Broker {
+	if br, ok := churnBrokers[shards]; ok {
+		return br
+	}
+	br := broker.New(broker.Config{ID: "b1", UseCovering: true, Shards: shards},
+		func(to string, m *broker.Message) {})
+	br.AddNeighbor("n1")
+	for _, x := range churnXPEs(0, churnBrokerTableSize, 1) {
+		br.HandleMessage(&broker.Message{Type: broker.MsgSubscribe, XPE: x}, "n1")
+	}
+	churnBrokers[shards] = br
+	return br
+}
+
+func BenchmarkControlChurn(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("subs=%d/shards=%d", churnBrokerTableSize, shards), func(b *testing.B) {
+			br := churnBroker(shards)
+			fresh := churnXPEs(churnBrokerTableSize, b.N, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br.HandleMessage(&broker.Message{Type: broker.MsgSubscribe, XPE: fresh[i]}, "n1")
+				br.HandleMessage(&broker.Message{Type: broker.MsgUnsubscribe, XPE: fresh[i]}, "n1")
+			}
+		})
+	}
+}
+
+// BenchmarkShardRebuild isolates the recompile cost one control change pays
+// at large table sizes: a full monolithic build (shards=1) versus one
+// shard's bucket (shards=8). This is the pmatch-layer core of the broker
+// measurement above, feasible at table sizes where populating a live
+// shards=1 broker would cost O(N^2).
+func BenchmarkShardRebuild(b *testing.B) {
+	for _, size := range []int{100_000, 1_000_000} {
+		xs := churnXPEs(0, size, 3)
+		b.Run(fmt.Sprintf("subs=%d/full", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, a := buildSlot(xs)
+				if a.NumEntries() != size {
+					b.Fatal("bad build")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("subs=%d/one-of-8-shards", size), func(b *testing.B) {
+			buckets := shardBuckets(xs, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buildSlot(buckets[i%8])
+			}
+		})
+	}
+}
+
+// BenchmarkShardedMatch extends the automaton-size sweep in
+// BENCH_pmatch.json to 100k–1M entries: match cost per publication path for
+// the monolithic automaton versus the 8-shard partition (two smaller
+// automaton runs: the root's shard plus the wild shard).
+func BenchmarkShardedMatch(b *testing.B) {
+	for _, size := range []int{100_000, 1_000_000} {
+		xs := churnXPEs(0, size, 4)
+		paths := make([][]symtab.Sym, 64)
+		r := rand.New(rand.NewSource(5))
+		for i := range paths {
+			n := 2 + r.Intn(5)
+			path := make([]string, n)
+			for j := range path {
+				path[j] = fmt.Sprintf("e%d", r.Intn(200))
+			}
+			paths[i] = symtab.InternPath(path)
+		}
+		for _, shards := range []int{1, 8} {
+			b.Run(fmt.Sprintf("subs=%d/shards=%d", size, shards), func(b *testing.B) {
+				sb := pmatch.NewShardedBuilder(shards)
+				for i, x := range xs {
+					sb.Add(x, i)
+				}
+				auto := sb.Build()
+				hits := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					auto.Match(paths[i%len(paths)], nil, func(any) { hits++ })
+				}
+			})
+		}
+	}
+}
+
+// TestEmitChurnBench is the CI bench-smoke for the sharded matching engine:
+// it measures the per-control-change rebuild cost at 100k subscriptions for
+// the monolithic (shards=1) and 8-shard tables and writes the result as
+// JSON to the file named by BENCH_CHURN_OUT (skipped when unset). The
+// sharded expected rebuild time — per-slot build time weighted by the
+// probability a change lands in that slot — must beat the full rebuild by
+// well more than the 4x the tentpole targets; the test enforces a soft 1.5x
+// floor so CI noise cannot flake it while catastrophic regressions still
+// fail.
+func TestEmitChurnBench(t *testing.T) {
+	out := os.Getenv("BENCH_CHURN_OUT")
+	if out == "" {
+		t.Skip("BENCH_CHURN_OUT not set")
+	}
+
+	const size = 100_000
+	const shards = 8
+	xs := churnXPEs(0, size, 3)
+
+	// Full rebuild: what every control change costs at shards=1.
+	var fullMS []float64
+	fullMean := 0.0
+	for i := 0; i < 3; i++ {
+		d, a := buildSlot(xs)
+		if a.NumEntries() != size {
+			t.Fatalf("full build entries = %d", a.NumEntries())
+		}
+		fullMS = append(fullMS, d.Seconds()*1e3)
+		fullMean += d.Seconds() * 1e3
+	}
+	fullMean /= 3
+
+	// Sharded rebuild: a change recompiles only its slot, so the expected
+	// cost is the per-slot build time weighted by the slot's share of the
+	// table (the probability a uniformly-drawn change hits it).
+	type slotResult struct {
+		Slot    string  `json:"slot"`
+		Entries int     `json:"entries"`
+		BuildMS float64 `json:"build_ms"`
+	}
+	buckets := shardBuckets(xs, shards)
+	var slots []slotResult
+	expected := 0.0
+	for i, bucket := range buckets {
+		d, _ := buildSlot(bucket)
+		ms := d.Seconds() * 1e3
+		slots = append(slots, slotResult{pmatch.SlotName(i, shards), len(bucket), ms})
+		expected += ms * float64(len(bucket)) / float64(size)
+	}
+	ratio := fullMean / expected
+	if ratio < 1.5 {
+		t.Errorf("sharded rebuild ratio = %.2f, want well above 1.5 (full %.1fms, expected sharded %.1fms)",
+			ratio, fullMean, expected)
+	}
+
+	doc := struct {
+		Benchmark     string       `json:"benchmark"`
+		Subscriptions int          `json:"subscriptions"`
+		Shards        int          `json:"shards"`
+		FullMS        []float64    `json:"full_rebuild_ms"`
+		FullMeanMS    float64      `json:"full_rebuild_mean_ms"`
+		Slots         []slotResult `json:"per_slot"`
+		ExpectedMS    float64      `json:"sharded_expected_rebuild_ms"`
+		Ratio         float64      `json:"rebuild_speedup"`
+	}{
+		Benchmark:     "per-control-change automaton rebuild, monolithic vs sharded (DESIGN.md §5g)",
+		Subscriptions: size,
+		Shards:        shards,
+		FullMS:        fullMS,
+		FullMeanMS:    fullMean,
+		Slots:         slots,
+		ExpectedMS:    expected,
+		Ratio:         ratio,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (full %.1fms, sharded expected %.1fms, %.1fx)", out, fullMean, expected, ratio)
+}

@@ -44,6 +44,8 @@ func main() {
 		merging   = flag.String("merge", "off", "merging mode: off|perfect|imperfect")
 		degree    = flag.Float64("degree", 0.1, "imperfect-merging degree tolerance")
 		streaming = flag.Bool("streaming", true, "streaming SAX-path matching for document publications (false = parse and decompose into paths first)")
+		shards    = flag.Int("shards", 0, "matching-engine shards: control changes recompile only the affected shard (0 = GOMAXPROCS, 1 = single monolithic automaton)")
+		parallel  = flag.Int("parallel-match", 0, "fan a decomposed document's paths across cores when it has at least this many (0 disables; only affects -streaming=false)")
 		statsEach = flag.Duration("stats", 30*time.Second, "stats logging interval (0 disables)")
 		traceBuf  = flag.Int("tracebuf", 1024, "trace events retained in the in-memory ring")
 
@@ -73,14 +75,16 @@ func main() {
 		slow.Logger = func(e slowlog.Entry) { log.Printf("slow publication %s", e) }
 	}
 	cfg := broker.Config{
-		ID:                *id,
-		UseAdvertisements: *useAdv,
-		UseCovering:       *useCov,
-		ImperfectDegree:   *degree,
-		DisableStreaming:  !*streaming,
-		Metrics:           reg,
-		TraceSink:         ring,
-		SlowLog:           slow,
+		ID:                 *id,
+		UseAdvertisements:  *useAdv,
+		UseCovering:        *useCov,
+		ImperfectDegree:    *degree,
+		DisableStreaming:   !*streaming,
+		Shards:             *shards,
+		ParallelMatchPaths: *parallel,
+		Metrics:            reg,
+		TraceSink:          ring,
+		SlowLog:            slow,
 	}
 	switch *merging {
 	case "off":
@@ -121,6 +125,7 @@ func main() {
 				Links:    func() any { return srv.Links() },
 				Queues:   srv.QueueDepths,
 				Slow:     slow,
+				Shards:   func() any { return srv.Broker().ShardStatus() },
 			},
 		}.Handler()
 		bound, stopAdmin, err := admin.Serve(*adminAddr, h)

@@ -50,6 +50,15 @@ type stageQ struct {
 	P99   float64 `json:"p99"`
 }
 
+// shardInfo mirrors broker.ShardStatus's JSON.
+type shardInfo struct {
+	Shard            string  `json:"shard"`
+	Entries          int     `json:"entries"`
+	States           int     `json:"states"`
+	Epoch            uint64  `json:"epoch"`
+	LastBuildSeconds float64 `json:"last_build_seconds"`
+}
+
 // status mirrors admin.StatusSnapshot's JSON.
 type status struct {
 	Broker               string             `json:"broker"`
@@ -64,6 +73,7 @@ type status struct {
 	Queues               map[string]int     `json:"queues"`
 	SlowTotal            int64              `json:"slow_total"`
 	SlowThresholdSeconds float64            `json:"slow_threshold_seconds"`
+	Shards               []shardInfo        `json:"shards"`
 }
 
 // result is one poll of one broker.
@@ -202,10 +212,10 @@ func render(out io.Writer, results []result, clear bool) {
 	fmt.Fprintf(&b, "xtop — %s\n\n", time.Now().Format("15:04:05"))
 
 	// Overview table.
-	tw := newTable(&b, "BROKER", "TARGET", "UP", "EPOCH", "PUB/S", "DLV/S", "LINKS", "QMAX", "SLOW")
+	tw := newTable(&b, "BROKER", "TARGET", "UP", "EPOCH", "PUB/S", "DLV/S", "LINKS", "QMAX", "SLOW", "SHARDS")
 	for _, r := range results {
 		if r.Status == nil {
-			tw.row("?", r.Target, "DOWN", "-", "-", "-", "-", "-", "-")
+			tw.row("?", r.Target, "DOWN", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}
 		st := r.Status
@@ -231,6 +241,7 @@ func render(out io.Writer, results []result, clear bool) {
 			fmt.Sprintf("%d/%d", up, total),
 			fmt.Sprint(qmax),
 			fmt.Sprint(st.SlowTotal),
+			formatShards(st.Shards),
 		)
 	}
 	tw.flush()
@@ -275,6 +286,21 @@ func rateOf(st *status, key string) float64 {
 		}
 	}
 	return -1
+}
+
+// formatShards summarises the matching engine's shard vector as
+// "slots:entries" — e.g. "9:1204" for an 8-shard broker (8 anchored slots
+// plus the wild slot) holding 1204 automaton entries. "-" when the broker
+// runs without the shared NFA or predates the shard surface.
+func formatShards(shards []shardInfo) string {
+	if len(shards) == 0 {
+		return "-"
+	}
+	entries := 0
+	for _, s := range shards {
+		entries += s.Entries
+	}
+	return fmt.Sprintf("%d:%d", len(shards), entries)
 }
 
 func formatRate(v float64) string {

@@ -41,6 +41,10 @@ type Status struct {
 	// Slow, when non-nil, contributes the flight recorder's capture count
 	// and threshold.
 	Slow *slowlog.Log
+	// Shards, when non-nil, reports the matching engine's per-shard state;
+	// the broker's ShardStatus method fits. The value is embedded verbatim
+	// in the snapshot JSON.
+	Shards func() any
 
 	// Now, when non-nil, replaces time.Now — tests inject a fake clock to
 	// exercise rate computation deterministically.
@@ -86,6 +90,10 @@ type StatusSnapshot struct {
 	// captured entries themselves are served by /debug/slow.
 	SlowTotal            int64   `json:"slow_total,omitempty"`
 	SlowThresholdSeconds float64 `json:"slow_threshold_seconds,omitempty"`
+	// Shards is the matching engine's per-shard state (see
+	// broker.ShardStatus): entries, compiled states, the snapshot epoch of
+	// the slot's last rebuild, and that rebuild's duration.
+	Shards any `json:"shards,omitempty"`
 }
 
 // stageOrder fixes the pipeline order for the Stages list.
@@ -155,6 +163,9 @@ func (st *Status) Snapshot() StatusSnapshot {
 	if st.Slow != nil {
 		out.SlowTotal = st.Slow.Total()
 		out.SlowThresholdSeconds = st.Slow.Threshold().Seconds()
+	}
+	if st.Shards != nil {
+		out.Shards = st.Shards()
 	}
 	return out
 }

@@ -8,9 +8,16 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/pmatch"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
+
+// shardIndexOf is the broker-side view of the shard key: the slot a
+// subscription's automaton entry lands in for an N-shard configuration.
+func shardIndexOf(x *xpath.XPE, n int) int {
+	return pmatch.ShardIndex(x, n)
+}
 
 // pub builds a test publication with per-element attributes.
 func pub(path []string, attrs []map[string]string, id int) xmldoc.Publication {
@@ -74,10 +81,12 @@ func TestAutomatonRoutesLikeTreeWalk(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			run := func(disable bool) ([]string, Stats) {
+			run := func(cfg Config) ([]string, Stats) {
 				r := rand.New(rand.NewSource(seed))
 				s := &sink{}
-				b := New(Config{ID: "b1", UseCovering: true, DisableSharedNFA: disable}, s.send)
+				cfg.ID = "b1"
+				cfg.UseCovering = true
+				b := New(cfg, s.send)
 				b.AddNeighbor("n1")
 				b.AddNeighbor("n2")
 				b.AddClient("c1")
@@ -108,13 +117,20 @@ func TestAutomatonRoutesLikeTreeWalk(t *testing.T) {
 				}
 				return s.sorted(), b.Stats()
 			}
-			gotNFA, statsNFA := run(false)
-			gotTree, statsTree := run(true)
+			gotNFA, statsNFA := run(Config{})
+			gotTree, statsTree := run(Config{DisableSharedNFA: true})
+			gotSharded, statsSharded := run(Config{Shards: 8})
 			if !reflect.DeepEqual(gotNFA, gotTree) {
 				t.Fatalf("forwarding diverged:\nnfa:  %v\ntree: %v", gotNFA, gotTree)
 			}
+			if !reflect.DeepEqual(gotNFA, gotSharded) {
+				t.Fatalf("forwarding diverged:\nnfa:     %v\nsharded: %v", gotNFA, gotSharded)
+			}
 			if statsNFA.Deliveries != statsTree.Deliveries || statsNFA.FalsePositives != statsTree.FalsePositives {
 				t.Fatalf("stats diverged: nfa=%+v tree=%+v", statsNFA, statsTree)
+			}
+			if statsNFA.Deliveries != statsSharded.Deliveries || statsNFA.FalsePositives != statsSharded.FalsePositives {
+				t.Fatalf("stats diverged: nfa=%+v sharded=%+v", statsNFA, statsSharded)
 			}
 		})
 	}
@@ -150,6 +166,81 @@ func TestAutomatonRebuildTracksControlPlane(t *testing.T) {
 	b.HandleMessage(&Message{Type: MsgUnsubscribe, XPE: x2}, "peer")
 	if s := b.NFAStats(); s.Entries != 2 {
 		t.Fatalf("after unsubscribe: %+v", s)
+	}
+}
+
+// TestShardedRebuildGranularity pins the per-shard copy-on-write contract:
+// a control change recompiles only the shard its expression hashes to, and
+// each slot's ShardStatus epoch records the snapshot in which that slot was
+// last rebuilt — untouched slots keep their old epoch because the new
+// snapshot aliases their automatons.
+func TestShardedRebuildGranularity(t *testing.T) {
+	const n = 4
+	b := New(Config{ID: "b1", UseCovering: true, Shards: n}, func(string, *Message) {})
+	b.AddNeighbor("n1")
+	// Find two root names that land in different anchored slots (the hash
+	// over interned symbols is stable within a process but not chosen here).
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	x1 := xpath.MustParse("/" + names[0] + "/x")
+	var x2 *xpath.XPE
+	for _, nm := range names[1:] {
+		cand := xpath.MustParse("/" + nm + "/y")
+		if shardIndexOf(cand, n) != shardIndexOf(x1, n) {
+			x2 = cand
+			break
+		}
+	}
+	if x2 == nil {
+		t.Fatal("no two roots hash to distinct shards; widen the name set")
+	}
+	s1, s2 := shardIndexOf(x1, n), shardIndexOf(x2, n)
+
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: x1}, "n1")
+	e1 := b.SnapshotEpoch()
+	st := b.ShardStatus()
+	if len(st) != n+1 {
+		t.Fatalf("ShardStatus slots = %d, want %d (N anchored + wild)", len(st), n+1)
+	}
+	if st[s1].Entries != 1 || st[s1].Epoch != e1 {
+		t.Fatalf("slot %d after first subscription: %+v (epoch %d)", s1, st[s1], e1)
+	}
+
+	// A subscription in a different shard rebuilds only that shard: s1 keeps
+	// its old epoch because its automaton is aliased, not recompiled.
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: x2}, "n1")
+	e2 := b.SnapshotEpoch()
+	if e2 == e1 {
+		t.Fatal("effective control change must move the snapshot epoch")
+	}
+	st = b.ShardStatus()
+	if st[s2].Entries != 1 || st[s2].Epoch != e2 {
+		t.Fatalf("slot %d after second subscription: %+v (epoch %d)", s2, st[s2], e2)
+	}
+	if st[s1].Epoch != e1 {
+		t.Fatalf("untouched slot %d was recompiled: epoch %d, want %d", s1, st[s1].Epoch, e1)
+	}
+
+	// A descendant-rooted expression goes to the wild slot; anchored slots
+	// stay aliased.
+	b.HandleMessage(&Message{Type: MsgSubscribe, XPE: xpath.MustParse("//z")}, "n1")
+	e3 := b.SnapshotEpoch()
+	st = b.ShardStatus()
+	if wild := st[n]; wild.Shard != "wild" || wild.Entries != 1 || wild.Epoch != e3 {
+		t.Fatalf("wild slot after relative subscription: %+v (epoch %d)", wild, e3)
+	}
+	if st[s1].Epoch != e1 || st[s2].Epoch != e2 {
+		t.Fatalf("anchored slots recompiled by wild-slot change: %+v", st)
+	}
+
+	// Unsubscribe recompiles only the affected shard and shrinks it.
+	b.HandleMessage(&Message{Type: MsgUnsubscribe, XPE: x2}, "n1")
+	e4 := b.SnapshotEpoch()
+	st = b.ShardStatus()
+	if st[s2].Entries != 0 || st[s2].Epoch != e4 {
+		t.Fatalf("slot %d after unsubscribe: %+v (epoch %d)", s2, st[s2], e4)
+	}
+	if st[s1].Epoch != e1 {
+		t.Fatalf("untouched slot %d recompiled on unrelated unsubscribe", s1)
 	}
 }
 

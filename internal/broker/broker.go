@@ -1,23 +1,19 @@
 package broker
 
 import (
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/advert"
-	"repro/internal/cover"
 	"repro/internal/merge"
 	"repro/internal/metrics"
+	"repro/internal/pmatch"
 	"repro/internal/slowlog"
-	"repro/internal/stream"
 	"repro/internal/subtree"
-	"repro/internal/symtab"
 	"repro/internal/trace"
-	"repro/internal/xmldoc"
-	"repro/internal/xpath"
 )
 
 // MergingMode selects the broker's merging optimisation.
@@ -76,6 +72,23 @@ type Config struct {
 	// run per publication replaces O(subscriptions) per-XPE evaluations;
 	// the flag exists as the ablation baseline and as an escape hatch.
 	DisableSharedNFA bool
+
+	// Shards partitions the shared matching automaton into this many
+	// independently-recompiled shards keyed by the subscription's root
+	// symbol (pmatch.ShardIndex; DESIGN.md §5g). A control-plane change
+	// recompiles only the shard(s) its expression lives in, so recompile
+	// work at large tables drops roughly with the shard count, and a
+	// publication consults only its root's shard plus the wild shard.
+	// 0 selects GOMAXPROCS; 1 is the single-automaton ablation (exactly
+	// the pre-sharding behaviour). Ignored with DisableSharedNFA.
+	Shards int
+
+	// ParallelMatchPaths, when positive, fans a decomposed document's
+	// sym-paths out across worker goroutines once the document yields at
+	// least this many paths. It applies only to the decompose route
+	// (streaming routes a whole document in one pass); 0 disables the
+	// fan-out, keeping the decomposed publish path allocation-free.
+	ParallelMatchPaths int
 
 	// DisableStreaming turns off streaming SAX-path matching for
 	// publications: raw document bodies (Message.Raw) are parsed into a
@@ -246,6 +259,9 @@ func New(cfg Config, send func(to string, m *Message)) *Broker {
 	if cfg.MergeEvery <= 0 {
 		cfg.MergeEvery = 64
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
 	b := &Broker{
 		cfg:        cfg,
 		send:       send,
@@ -340,6 +356,25 @@ func (b *Broker) registerMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("xbroker_nfa_entries",
 		"Expressions compiled into the shared matching automaton (PRT last-hop nodes plus client filter entries).",
 		func() float64 { return float64(b.NFAStats().Entries) })
+	if b.cfg.DisableSharedNFA {
+		return
+	}
+	for slot := 0; slot < pmatch.Slots(b.cfg.Shards); slot++ {
+		slot := slot
+		name := pmatch.SlotName(slot, b.cfg.Shards)
+		reg.GaugeFunc("xbroker_nfa_shard_entries",
+			"Expressions compiled into this shard of the sharded matching automaton.",
+			func() float64 { return float64(b.shardSlotStatus(slot).Entries) }, "shard", name)
+		reg.GaugeFunc("xbroker_nfa_shard_states",
+			"States in this shard of the sharded matching automaton.",
+			func() float64 { return float64(b.shardSlotStatus(slot).States) }, "shard", name)
+		reg.GaugeFunc("xbroker_nfa_shard_epoch",
+			"Snapshot epoch at which this shard was last recompiled.",
+			func() float64 { return float64(b.shardSlotStatus(slot).Epoch) }, "shard", name)
+		reg.GaugeFunc("xbroker_nfa_shard_build_seconds",
+			"Duration of this shard's last recompilation.",
+			func() float64 { return b.shardSlotStatus(slot).LastBuildSeconds }, "shard", name)
+	}
 }
 
 // ID returns the broker's identifier.
@@ -534,589 +569,4 @@ func (b *Broker) emit(to string, m *Message) {
 		b.stats.msgsOut[m.Type].Add(1)
 	}
 	b.send(to, m)
-}
-
-// --- advertisements ---
-
-func (b *Broker) handleAdvertise(m *Message, from string) {
-	if _, dup := b.srtByID[m.AdvID]; dup {
-		return // flooding duplicate
-	}
-	e := &advEntry{id: m.AdvID, adv: m.Adv, lastHop: from}
-	if m.Adv.Classify() == advert.NonRecursive {
-		e.flat = m.Adv.FlatNames()
-	}
-	// Advertisement covering: an advertisement covered by an existing one
-	// with the same last hop is redundant — subscriptions overlapping it
-	// are already routed that way. (Different last hops must both stay:
-	// they lead to different producers.)
-	if b.cfg.UseCovering && e.flat != nil {
-		for _, old := range b.srt {
-			if old.lastHop == from && old.flat != nil && cover.CoversAdvertisement(old.flat, e.flat) {
-				b.srtByID[m.AdvID] = old // remember the ID for dedup
-				return
-			}
-		}
-	}
-	b.srt = append(b.srt, e)
-	b.srtByID[m.AdvID] = e
-	b.dirty.srt = true
-
-	// Flood to all other peers that are brokers.
-	for _, nb := range b.neighbors {
-		if nb != from {
-			b.emit(nb, m)
-		}
-	}
-	// Forward existing subscriptions toward the new advertisement.
-	if b.cfg.UseAdvertisements && from != "" {
-		for _, n := range b.prt.TopLevel() {
-			st := stateOf(n)
-			if st == nil || st.forwardedTo[from] {
-				continue
-			}
-			if m.Adv.Overlaps(n.XPE) {
-				st.forwardedTo[from] = true
-				b.emit(from, &Message{Type: MsgSubscribe, XPE: n.XPE})
-			}
-		}
-	}
-}
-
-func (b *Broker) handleUnadvertise(m *Message, from string) {
-	e := b.srtByID[m.AdvID]
-	if e == nil {
-		return
-	}
-	delete(b.srtByID, m.AdvID)
-	for i, cur := range b.srt {
-		if cur == e {
-			b.srt = append(b.srt[:i], b.srt[i+1:]...)
-			b.dirty.srt = true
-			break
-		}
-	}
-	for _, nb := range b.neighbors {
-		if nb != from {
-			b.emit(nb, m)
-		}
-	}
-}
-
-// --- subscriptions ---
-
-func (b *Broker) handleSubscribe(m *Message, from string) {
-	if b.clients[from] {
-		// Remember the client's original subscription for delivery
-		// filtering.
-		if cres := b.clientSubs[from].Insert(m.XPE); !cres.Duplicate {
-			b.dirty.markClientSubs(from)
-		}
-	}
-
-	var res subtree.InsertResult
-	if b.cfg.UseCovering {
-		res = b.prt.Insert(m.XPE)
-	} else {
-		res = b.prt.FlatInsert(m.XPE)
-	}
-	st := stateOf(res.Node)
-	if st == nil {
-		st = &subState{lastHops: make(map[string]bool), forwardedTo: make(map[string]bool)}
-		res.Node.Data = st
-	}
-	newDirection := !st.lastHops[from]
-	st.lastHops[from] = true
-	if res.Duplicate && !newDirection {
-		return // a pure repeat from the same peer changes nothing
-	}
-	b.dirty.prt = true
-	// A known expression arriving from a NEW direction must still
-	// propagate: reverse-path delivery needs every broker between the
-	// publisher and the new subscriber to record the new interest
-	// direction, so the subscription is re-forwarded to the hops it has
-	// not reached yet.
-	b.forwardSubscription(res.Node, st, from)
-
-	// Withdraw the subscriptions this one covers from the hops both were
-	// forwarded to: downstream tables keep routing through the broader
-	// subscription.
-	if b.cfg.UseCovering {
-		for _, covered := range res.NewlyCovered {
-			cst := stateOf(covered)
-			if cst == nil {
-				continue
-			}
-			for hop := range cst.forwardedTo {
-				if st.forwardedTo[hop] {
-					b.emit(hop, &Message{Type: MsgUnsubscribe, XPE: covered.XPE})
-					delete(cst.forwardedTo, hop)
-				}
-			}
-		}
-	}
-
-	// Periodic merging.
-	if b.cfg.Merging != MergeOff {
-		b.sinceMerge++
-		if b.sinceMerge >= b.cfg.MergeEvery {
-			b.sinceMerge = 0
-			b.runMergePass()
-		}
-	}
-}
-
-// forwardSubscription sends a subscription to the next hops its matching
-// advertisements indicate (or floods it without advertisements). With
-// covering, a hop is skipped when a covering subscription was already
-// forwarded to that same hop — the per-next-hop rule; suppressing a covered
-// subscription entirely would lose publications arriving from directions
-// the coverer's own path does not serve.
-func (b *Broker) forwardSubscription(n *subtree.Node, st *subState, from string) {
-	var coverers []*subtree.Node
-	if b.cfg.UseCovering {
-		coverers = b.prt.Coverers(n.XPE)
-	}
-	for _, hop := range b.subscriptionNextHops(n.XPE, from) {
-		// Skip hops already served. Hops that themselves sent this
-		// subscription are NOT skipped: they sent it on behalf of a
-		// different subscriber direction and still need to learn of this
-		// one for reverse-path delivery.
-		if st.forwardedTo[hop] {
-			continue
-		}
-		if coveredAtHop(coverers, hop) {
-			continue
-		}
-		st.forwardedTo[hop] = true
-		b.emit(hop, &Message{Type: MsgSubscribe, XPE: n.XPE})
-	}
-}
-
-// coveredAtHop reports whether any coverer has already been forwarded to the
-// hop.
-func coveredAtHop(coverers []*subtree.Node, hop string) bool {
-	for _, c := range coverers {
-		if cst := stateOf(c); cst != nil && cst.forwardedTo[hop] {
-			return true
-		}
-	}
-	return false
-}
-
-func (b *Broker) subscriptionNextHops(x *xpath.XPE, from string) []string {
-	if !b.cfg.UseAdvertisements {
-		out := make([]string, 0, len(b.neighbors))
-		for _, nb := range b.neighbors {
-			if nb != from {
-				out = append(out, nb)
-			}
-		}
-		return out
-	}
-	seen := make(map[string]bool)
-	var out []string
-	for _, e := range b.srt {
-		if e.lastHop == "" || e.lastHop == from || seen[e.lastHop] {
-			continue
-		}
-		if !b.clients[e.lastHop] && e.adv.Overlaps(x) {
-			seen[e.lastHop] = true
-			out = append(out, e.lastHop)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-func (b *Broker) handleUnsubscribe(m *Message, from string) {
-	if b.clients[from] {
-		if n := b.clientSubs[from].Lookup(m.XPE); n != nil {
-			b.clientSubs[from].Remove(n)
-			b.dirty.markClientSubs(from)
-		}
-	}
-	n := b.prt.Lookup(m.XPE)
-	if n == nil {
-		return
-	}
-	b.dirty.prt = true
-	st := stateOf(n)
-	if st != nil {
-		delete(st.lastHops, from)
-		if len(st.lastHops) > 0 {
-			// Other peers still need the subscription, but a forward to a
-			// hop is justified only by interest from some *other* direction.
-			// If the sole remaining direction is a hop this subscription was
-			// forwarded to, that forward is now vacuous — withdraw it, or
-			// the hop keeps a phantom interest entry pointing back here.
-			if len(st.lastHops) == 1 {
-				for only := range st.lastHops {
-					if st.forwardedTo[only] {
-						delete(st.forwardedTo, only)
-						b.emit(only, &Message{Type: MsgUnsubscribe, XPE: m.XPE})
-					}
-				}
-			}
-			return
-		}
-	}
-	// The nodes this subscription covered — its adopted children and its
-	// super-pointer targets — may have had forwarding suppressed on hops it
-	// served; collect them before the removal destroys the links.
-	var uncovered []*subtree.Node
-	uncovered = append(uncovered, n.Children()...)
-	uncovered = append(uncovered, n.Super()...)
-	b.prt.Remove(n)
-	// Propagate the withdrawal.
-	if st != nil {
-		for hop := range st.forwardedTo {
-			b.emit(hop, &Message{Type: MsgUnsubscribe, XPE: m.XPE})
-		}
-	}
-	// Uncovering: re-forward what this subscription suppressed. This must
-	// run even when the removed node was itself covered — a covering
-	// ancestor only serves the hops it was forwarded to, and the removed
-	// node may have been the sole subscription forwarded on some hop.
-	// forwardSubscription re-applies the per-hop covering rule against the
-	// remaining coverers, so hops a surviving coverer already serves are
-	// skipped.
-	if b.cfg.UseCovering {
-		for _, c := range uncovered {
-			if cst := stateOf(c); cst != nil {
-				b.forwardSubscription(c, cst, "")
-			}
-		}
-	}
-}
-
-// runMergePass merges PRT siblings per the configured mode and translates
-// each merger into network operations: unsubscribe the sources, subscribe
-// the merger.
-func (b *Broker) runMergePass() {
-	b.dirty.prt = true
-	maxDegree := 0.0
-	if b.cfg.Merging == MergeImperfect {
-		maxDegree = b.cfg.ImperfectDegree
-	}
-	opts := merge.Options{
-		MaxDegree: maxDegree,
-		Estimator: b.cfg.Estimator,
-		OnMerge: func(m *merge.Merger, sources []*subtree.Node, mergerNode *subtree.Node) {
-			b.stats.mergers.Add(1)
-			st := stateOf(mergerNode)
-			if st == nil {
-				st = &subState{lastHops: make(map[string]bool), forwardedTo: make(map[string]bool), merger: true}
-				mergerNode.Data = st
-			}
-			var oldForwards map[string]bool
-			for _, src := range sources {
-				sst := stateOf(src)
-				if sst == nil {
-					continue
-				}
-				for hop := range sst.lastHops {
-					st.lastHops[hop] = true
-				}
-				if oldForwards == nil {
-					oldForwards = make(map[string]bool)
-				}
-				for hop := range sst.forwardedTo {
-					oldForwards[hop] = true
-				}
-			}
-			// Withdraw the sources upstream and forward the merger instead.
-			for _, src := range sources {
-				sst := stateOf(src)
-				if sst == nil {
-					continue
-				}
-				for hop := range sst.forwardedTo {
-					b.emit(hop, &Message{Type: MsgUnsubscribe, XPE: src.XPE})
-				}
-			}
-			for _, hop := range b.subscriptionNextHops(mergerNode.XPE, "") {
-				if st.forwardedTo[hop] {
-					continue
-				}
-				st.forwardedTo[hop] = true
-				b.emit(hop, &Message{Type: MsgSubscribe, XPE: mergerNode.XPE})
-			}
-		},
-	}
-	merge.Pass(b.prt, opts)
-}
-
-// --- publications ---
-
-// handlePublish matches one publication and forwards it. It is the lock-free
-// data plane: it loads the routing snapshot once and reads only that
-// immutable view plus atomic counters — zero mutex acquisitions, so
-// publications never contend with each other or with control-plane updates.
-// Matching is one shared-automaton run per publication sym-path (the
-// snapshot's pmatch NFA covers the PRT's last-hop entries and every client
-// filter expression; see DESIGN.md §5c), falling back to the per-
-// subscription covering tree walk when the automaton is absent. Whole
-// documents are routed by the streaming matcher by default — one automaton
-// pass over the raw bytes (Message.Raw, never parsed into a tree) or over
-// the parsed tree (Message.Doc), see DESIGN.md §5e — with
-// Config.DisableStreaming falling back to decompose-into-paths. A raw body
-// that fails the streaming scan (malformed XML or the wire document
-// bounds) is dropped and counted, never forwarded. Publication paths are
-// matched in interned symbol form; a publication carrying no pre-interned
-// path (hand-built, or a whole document) is converted on arrival. For
-// traced publications it returns the hop event for the caller to record;
-// untraced traffic returns nil.
-func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
-	snap := b.snap.Load()
-	// Per-stage spans are measured only when someone will read them — an
-	// attached metrics registry, the flight recorder, or a trace. For
-	// untraced publications on an uninstrumented broker, measure is false and
-	// the handler performs no clock reads at all; sp lives on the stack
-	// either way, so the span machinery costs the hot path zero allocations.
-	var sp pubSpan
-	measure := b.stageMatch != nil || b.slow != nil || m.TraceID != ""
-	if measure {
-		sp.start = time.Now()
-		var enqueued time.Time
-		sp.decode, enqueued = m.Arrival()
-		if !enqueued.IsZero() {
-			if sp.queue = sp.start.Sub(enqueued); sp.queue < 0 {
-				sp.queue = 0
-			}
-		}
-	}
-	// Collect next hops from all matching subscriptions — one shared-NFA
-	// run per document or path when the snapshot carries the automaton
-	// (the default), else the covering-pruned tree traversal. The same run
-	// also computes the per-client edge-filter verdicts (clientMatch
-	// payloads), so delivery filtering below re-matches nothing. Attribute
-	// predicates are evaluated in-network either way.
-	hops := make(map[string]bool)
-	var matchedClients map[string]bool
-	collect := func(data any) {
-		switch v := data.(type) {
-		case []string:
-			for _, hop := range v {
-				if hop != from {
-					hops[hop] = true
-				}
-			}
-		case clientMatch:
-			if matchedClients == nil {
-				matchedClients = make(map[string]bool)
-			}
-			matchedClients[string(v)] = true
-		}
-	}
-	// paths/attrs stay nil on the streaming routes; the edge filter below
-	// only consults them when the automaton is absent, which implies the
-	// decomposed route ran.
-	var paths [][]symtab.Sym
-	var attrs [][]map[string]string
-	streaming := snap.auto != nil && !b.cfg.DisableStreaming
-	switch {
-	case streaming && len(m.Raw) > 0:
-		// One pass over the bytes: syntax, wire bounds, and matching.
-		if err := stream.Match(m.Raw, snap.auto, stream.WireLimits, collect); err != nil {
-			b.stats.badDocs.Add(1)
-			return nil
-		}
-	case streaming && m.Doc != nil:
-		stream.MatchDoc(m.Doc, snap.auto, collect)
-	default:
-		doc := m.Doc
-		if doc == nil && len(m.Raw) > 0 {
-			// Ablation fallback for raw bodies: parse, then enforce the
-			// same wire bounds the streaming scan checks incrementally.
-			parsed, err := xmldoc.Parse(m.Raw)
-			if err != nil || stream.CheckDoc(parsed, stream.WireLimits) != nil {
-				b.stats.badDocs.Add(1)
-				return nil
-			}
-			doc = parsed
-		}
-		if doc != nil {
-			paths, attrs = doc.AnnotatedSymPaths()
-		} else {
-			sp := m.Pub.SymPath
-			if sp == nil {
-				sp = symtab.InternPath(m.Pub.Path)
-			}
-			paths = [][]symtab.Sym{sp}
-			attrs = [][]map[string]string{m.Pub.Attrs}
-		}
-		if snap.auto != nil {
-			for i, path := range paths {
-				snap.auto.Match(path, attrs[i], collect)
-			}
-		} else {
-			for i, path := range paths {
-				snap.prt.MatchSymPathAttrs(path, attrs[i], func(n *subtree.Node) {
-					for _, hop := range snapshotNodeHops(n) {
-						if hop != from {
-							hops[hop] = true
-						}
-					}
-				})
-			}
-		}
-	}
-	var matchEnd time.Time
-	if measure {
-		matchEnd = time.Now()
-		sp.match = matchEnd.Sub(sp.start)
-		if b.matchSeconds != nil {
-			b.matchSeconds.Observe(sp.match.Seconds())
-		}
-	}
-	ordered := make([]string, 0, len(hops))
-	for hop := range hops {
-		ordered = append(ordered, hop)
-	}
-	sort.Strings(ordered)
-	var ev *trace.Event
-	var nowWall int64
-	if m.TraceID != "" {
-		nowWall = time.Now().UnixNano()
-		ev = &trace.Event{
-			TraceID:      m.TraceID,
-			Broker:       b.cfg.ID,
-			From:         from,
-			RecvUnixNano: nowWall,
-		}
-	}
-	// Filter pass: apply edge filtering and trace accounting, compacting the
-	// surviving hops in place (kept shares ordered's backing array, so the
-	// two-pass structure allocates nothing). Nothing is emitted yet — the
-	// traced hop record sealed below can then carry the filter stage's
-	// duration.
-	kept := ordered[:0]
-	for _, hop := range ordered {
-		if snap.clients[hop] {
-			// Edge filtering: imperfect mergers must not leak false
-			// positives to clients. With the automaton the verdict was
-			// computed in the same run that produced the hop set.
-			passes := matchedClients[hop]
-			if snap.auto == nil {
-				passes = snap.matchesClient(hop, paths, attrs)
-			}
-			if !passes {
-				b.stats.falsePositives.Add(1)
-				if ev != nil {
-					ev.FilteredFor = append(ev.FilteredFor, hop)
-				}
-				continue
-			}
-			b.stats.deliveries.Add(1)
-			if ev != nil {
-				ev.DeliveredTo = append(ev.DeliveredTo, hop)
-			}
-		} else if ev != nil {
-			ev.ForwardedTo = append(ev.ForwardedTo, hop)
-		}
-		kept = append(kept, hop)
-	}
-	var filterEnd time.Time
-	if measure {
-		filterEnd = time.Now()
-		sp.filter = filterEnd.Sub(matchEnd)
-	}
-	// Traced publications travel on as a copy with this broker appended to
-	// the hop list; the received message is never mutated (simulator peers
-	// share message pointers). The hop is sealed after the filter pass so its
-	// stage list carries decode, queue, match, and filter; enqueue and flush
-	// happen later and appear in histograms and the inter-hop wall-clock gap.
-	fwd := m
-	if ev != nil {
-		hopList := make([]trace.Hop, 0, len(m.Hops)+1)
-		hopList = append(hopList, m.Hops...)
-		hopList = append(hopList, trace.Hop{
-			Broker:   b.cfg.ID,
-			UnixNano: nowWall,
-			Epoch:    snap.epoch,
-			Stages:   sp.hopStages(),
-		})
-		cp := *m
-		cp.Hops = hopList
-		fwd = &cp
-		ev.Hops = hopList
-	}
-	for _, hop := range kept {
-		b.emit(hop, fwd)
-	}
-	if measure {
-		sp.enqueue = time.Since(filterEnd)
-		b.observeSpan(&sp)
-		if b.slow != nil && sp.total() >= b.slow.Threshold() {
-			b.recordSlow(&sp, fwd, from, snap, len(paths), kept)
-		}
-	}
-	return ev
-}
-
-// pubSpan accumulates one publication's per-stage timings on the broker's
-// monotonic clock. It lives on the publish handler's stack; handlePublish
-// decides whether it is measured at all.
-type pubSpan struct {
-	start   time.Time
-	decode  time.Duration
-	queue   time.Duration
-	match   time.Duration
-	filter  time.Duration
-	enqueue time.Duration
-}
-
-// total is the publication's in-broker time — the value the flight
-// recorder's threshold is compared against.
-func (s *pubSpan) total() time.Duration {
-	return s.decode + s.queue + s.match + s.filter + s.enqueue
-}
-
-// hopStages renders the stages known at hop-append time. Enqueue and flush
-// happen after the hop record is sealed; across brokers they are part of the
-// wall-clock gap between consecutive hop stamps.
-func (s *pubSpan) hopStages() []trace.StageDur {
-	return []trace.StageDur{
-		{Stage: trace.StageDecode, Nanos: int64(s.decode)},
-		{Stage: trace.StageQueue, Nanos: int64(s.queue)},
-		{Stage: trace.StageMatch, Nanos: int64(s.match)},
-		{Stage: trace.StageFilter, Nanos: int64(s.filter)},
-	}
-}
-
-// observeSpan feeds the broker-side stage histograms. Decode and flush are
-// observed by the transport that measures them (see package transport).
-func (b *Broker) observeSpan(sp *pubSpan) {
-	if b.stageQueue == nil {
-		return
-	}
-	b.stageQueue.Observe(sp.queue.Seconds())
-	b.stageMatch.Observe(sp.match.Seconds())
-	b.stageFilter.Observe(sp.filter.Seconds())
-	b.stageEnqueue.Observe(sp.enqueue.Seconds())
-}
-
-// recordSlow captures one over-threshold publication into the flight
-// recorder. It runs only for already-slow publications, so its allocations
-// and the QueueDepths callback stay off the healthy hot path.
-func (b *Broker) recordSlow(sp *pubSpan, m *Message, from string, snap *routeSnapshot, pathCount int, dests []string) {
-	e := slowlog.Entry{
-		Broker:     b.cfg.ID,
-		From:       from,
-		TraceID:    m.TraceID,
-		UnixNano:   time.Now().UnixNano(),
-		TotalNanos: int64(sp.total()),
-		Stages: append(sp.hopStages(),
-			trace.StageDur{Stage: trace.StageEnqueue, Nanos: int64(sp.enqueue)}),
-		DocBytes:     len(m.Raw),
-		Paths:        pathCount,
-		Epoch:        snap.epoch,
-		Hops:         len(m.Hops),
-		Destinations: append([]string(nil), dests...),
-	}
-	if b.cfg.QueueDepths != nil {
-		e.QueueDepths = b.cfg.QueueDepths()
-	}
-	b.slow.Record(e)
 }

@@ -1,0 +1,357 @@
+package broker
+
+// Publish data plane: lock-free publication matching and forwarding against
+// the immutable routing snapshot, plus the per-stage latency span and slow-
+// publication capture. Split from broker.go so the sharded matching
+// refactor lands in reviewable units; behavior is unchanged.
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pmatch"
+	"repro/internal/slowlog"
+	"repro/internal/stream"
+	"repro/internal/subtree"
+	"repro/internal/symtab"
+	"repro/internal/trace"
+	"repro/internal/xmldoc"
+)
+
+// --- publications ---
+
+// handlePublish matches one publication and forwards it. It is the lock-free
+// data plane: it loads the routing snapshot once and reads only that
+// immutable view plus atomic counters — zero mutex acquisitions, so
+// publications never contend with each other or with control-plane updates.
+// Matching is one shared-automaton run per publication sym-path (the
+// snapshot's pmatch NFA covers the PRT's last-hop entries and every client
+// filter expression; see DESIGN.md §5c), falling back to the per-
+// subscription covering tree walk when the automaton is absent. Whole
+// documents are routed by the streaming matcher by default — one automaton
+// pass over the raw bytes (Message.Raw, never parsed into a tree) or over
+// the parsed tree (Message.Doc), see DESIGN.md §5e — with
+// Config.DisableStreaming falling back to decompose-into-paths. A raw body
+// that fails the streaming scan (malformed XML or the wire document
+// bounds) is dropped and counted, never forwarded. Publication paths are
+// matched in interned symbol form; a publication carrying no pre-interned
+// path (hand-built, or a whole document) is converted on arrival. For
+// traced publications it returns the hop event for the caller to record;
+// untraced traffic returns nil.
+func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
+	snap := b.snap.Load()
+	// Per-stage spans are measured only when someone will read them — an
+	// attached metrics registry, the flight recorder, or a trace. For
+	// untraced publications on an uninstrumented broker, measure is false and
+	// the handler performs no clock reads at all; sp lives on the stack
+	// either way, so the span machinery costs the hot path zero allocations.
+	var sp pubSpan
+	measure := b.stageMatch != nil || b.slow != nil || m.TraceID != ""
+	if measure {
+		sp.start = time.Now()
+		var enqueued time.Time
+		sp.decode, enqueued = m.Arrival()
+		if !enqueued.IsZero() {
+			if sp.queue = sp.start.Sub(enqueued); sp.queue < 0 {
+				sp.queue = 0
+			}
+		}
+	}
+	// Collect next hops from all matching subscriptions — one shared-NFA
+	// run per document or path when the snapshot carries the automaton
+	// (the default), else the covering-pruned tree traversal. The same run
+	// also computes the per-client edge-filter verdicts (clientMatch
+	// payloads), so delivery filtering below re-matches nothing. Attribute
+	// predicates are evaluated in-network either way.
+	hops := make(map[string]bool)
+	var matchedClients map[string]bool
+	collect := func(data any) {
+		switch v := data.(type) {
+		case []string:
+			for _, hop := range v {
+				if hop != from {
+					hops[hop] = true
+				}
+			}
+		case clientMatch:
+			if matchedClients == nil {
+				matchedClients = make(map[string]bool)
+			}
+			matchedClients[string(v)] = true
+		}
+	}
+	// paths/attrs stay nil on the streaming routes; the edge filter below
+	// only consults them when the automaton is absent, which implies the
+	// decomposed route ran.
+	var paths [][]symtab.Sym
+	var attrs [][]map[string]string
+	streaming := snap.auto != nil && !b.cfg.DisableStreaming
+	switch {
+	case streaming && len(m.Raw) > 0:
+		// One pass over the bytes: syntax, wire bounds, and matching.
+		if err := stream.Match(m.Raw, snap.auto, stream.WireLimits, collect); err != nil {
+			b.stats.badDocs.Add(1)
+			return nil
+		}
+	case streaming && m.Doc != nil:
+		stream.MatchDoc(m.Doc, snap.auto, collect)
+	default:
+		doc := m.Doc
+		if doc == nil && len(m.Raw) > 0 {
+			// Ablation fallback for raw bodies: parse, then enforce the
+			// same wire bounds the streaming scan checks incrementally.
+			parsed, err := xmldoc.Parse(m.Raw)
+			if err != nil || stream.CheckDoc(parsed, stream.WireLimits) != nil {
+				b.stats.badDocs.Add(1)
+				return nil
+			}
+			doc = parsed
+		}
+		if doc != nil {
+			// Distinct variables on purpose: parallelMatch leaks its
+			// arguments into worker goroutines, and letting the single-path
+			// literals below flow into it would heap-allocate them on the
+			// serial hot path too (the alloc pin would regress).
+			docPaths, docAttrs := doc.AnnotatedSymPaths()
+			paths, attrs = docPaths, docAttrs
+			switch pn := b.cfg.ParallelMatchPaths; {
+			case snap.auto == nil:
+				for i, path := range docPaths {
+					snap.prt.MatchSymPathAttrs(path, docAttrs[i], func(n *subtree.Node) {
+						for _, hop := range snapshotNodeHops(n) {
+							if hop != from {
+								hops[hop] = true
+							}
+						}
+					})
+				}
+			case pn > 0 && len(docPaths) >= pn:
+				parallelMatch(snap.auto, docPaths, docAttrs, collect)
+			default:
+				for i, path := range docPaths {
+					snap.auto.Match(path, docAttrs[i], collect)
+				}
+			}
+		} else {
+			sp := m.Pub.SymPath
+			if sp == nil {
+				sp = symtab.InternPath(m.Pub.Path)
+			}
+			paths = [][]symtab.Sym{sp}
+			attrs = [][]map[string]string{m.Pub.Attrs}
+			if snap.auto != nil {
+				snap.auto.Match(sp, m.Pub.Attrs, collect)
+			} else {
+				snap.prt.MatchSymPathAttrs(sp, m.Pub.Attrs, func(n *subtree.Node) {
+					for _, hop := range snapshotNodeHops(n) {
+						if hop != from {
+							hops[hop] = true
+						}
+					}
+				})
+			}
+		}
+	}
+	var matchEnd time.Time
+	if measure {
+		matchEnd = time.Now()
+		sp.match = matchEnd.Sub(sp.start)
+		if b.matchSeconds != nil {
+			b.matchSeconds.Observe(sp.match.Seconds())
+		}
+	}
+	ordered := make([]string, 0, len(hops))
+	for hop := range hops {
+		ordered = append(ordered, hop)
+	}
+	sort.Strings(ordered)
+	var ev *trace.Event
+	var nowWall int64
+	if m.TraceID != "" {
+		nowWall = time.Now().UnixNano()
+		ev = &trace.Event{
+			TraceID:      m.TraceID,
+			Broker:       b.cfg.ID,
+			From:         from,
+			RecvUnixNano: nowWall,
+		}
+	}
+	// Filter pass: apply edge filtering and trace accounting, compacting the
+	// surviving hops in place (kept shares ordered's backing array, so the
+	// two-pass structure allocates nothing). Nothing is emitted yet — the
+	// traced hop record sealed below can then carry the filter stage's
+	// duration.
+	kept := ordered[:0]
+	for _, hop := range ordered {
+		if snap.clients[hop] {
+			// Edge filtering: imperfect mergers must not leak false
+			// positives to clients. With the automaton the verdict was
+			// computed in the same run that produced the hop set.
+			passes := matchedClients[hop]
+			if snap.auto == nil {
+				passes = snap.matchesClient(hop, paths, attrs)
+			}
+			if !passes {
+				b.stats.falsePositives.Add(1)
+				if ev != nil {
+					ev.FilteredFor = append(ev.FilteredFor, hop)
+				}
+				continue
+			}
+			b.stats.deliveries.Add(1)
+			if ev != nil {
+				ev.DeliveredTo = append(ev.DeliveredTo, hop)
+			}
+		} else if ev != nil {
+			ev.ForwardedTo = append(ev.ForwardedTo, hop)
+		}
+		kept = append(kept, hop)
+	}
+	var filterEnd time.Time
+	if measure {
+		filterEnd = time.Now()
+		sp.filter = filterEnd.Sub(matchEnd)
+	}
+	// Traced publications travel on as a copy with this broker appended to
+	// the hop list; the received message is never mutated (simulator peers
+	// share message pointers). The hop is sealed after the filter pass so its
+	// stage list carries decode, queue, match, and filter; enqueue and flush
+	// happen later and appear in histograms and the inter-hop wall-clock gap.
+	fwd := m
+	if ev != nil {
+		hopList := make([]trace.Hop, 0, len(m.Hops)+1)
+		hopList = append(hopList, m.Hops...)
+		hopList = append(hopList, trace.Hop{
+			Broker:   b.cfg.ID,
+			UnixNano: nowWall,
+			Epoch:    snap.epoch,
+			Stages:   sp.hopStages(),
+		})
+		cp := *m
+		cp.Hops = hopList
+		fwd = &cp
+		ev.Hops = hopList
+	}
+	for _, hop := range kept {
+		b.emit(hop, fwd)
+	}
+	if measure {
+		sp.enqueue = time.Since(filterEnd)
+		b.observeSpan(&sp)
+		if b.slow != nil && sp.total() >= b.slow.Threshold() {
+			b.recordSlow(&sp, fwd, from, snap, len(paths), kept)
+		}
+	}
+	return ev
+}
+
+// parallelMatch fans a decomposed document's sym-paths across worker
+// goroutines (Config.ParallelMatchPaths gates it). The automaton is
+// immutable and Match is concurrency-safe, so workers share it freely;
+// each worker accumulates raw payloads privately and the results are
+// merged serially through collect afterwards, because collect closes over
+// the handler's (unsynchronised) hop and client-verdict maps. Payloads may
+// repeat across paths exactly as in the serial loop — collect dedups.
+func parallelMatch(auto *pmatch.ShardedAutomaton, paths [][]symtab.Sym, attrs [][]map[string]string, collect func(any)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	if workers <= 1 {
+		for i, path := range paths {
+			auto.Match(path, attrs[i], collect)
+		}
+		return
+	}
+	results := make([][]any, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(paths) {
+					return
+				}
+				auto.Match(paths[i], attrs[i], func(d any) { results[w] = append(results[w], d) })
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, rs := range results {
+		for _, d := range rs {
+			collect(d)
+		}
+	}
+}
+
+// pubSpan accumulates one publication's per-stage timings on the broker's
+// monotonic clock. It lives on the publish handler's stack; handlePublish
+// decides whether it is measured at all.
+type pubSpan struct {
+	start   time.Time
+	decode  time.Duration
+	queue   time.Duration
+	match   time.Duration
+	filter  time.Duration
+	enqueue time.Duration
+}
+
+// total is the publication's in-broker time — the value the flight
+// recorder's threshold is compared against.
+func (s *pubSpan) total() time.Duration {
+	return s.decode + s.queue + s.match + s.filter + s.enqueue
+}
+
+// hopStages renders the stages known at hop-append time. Enqueue and flush
+// happen after the hop record is sealed; across brokers they are part of the
+// wall-clock gap between consecutive hop stamps.
+func (s *pubSpan) hopStages() []trace.StageDur {
+	return []trace.StageDur{
+		{Stage: trace.StageDecode, Nanos: int64(s.decode)},
+		{Stage: trace.StageQueue, Nanos: int64(s.queue)},
+		{Stage: trace.StageMatch, Nanos: int64(s.match)},
+		{Stage: trace.StageFilter, Nanos: int64(s.filter)},
+	}
+}
+
+// observeSpan feeds the broker-side stage histograms. Decode and flush are
+// observed by the transport that measures them (see package transport).
+func (b *Broker) observeSpan(sp *pubSpan) {
+	if b.stageQueue == nil {
+		return
+	}
+	b.stageQueue.Observe(sp.queue.Seconds())
+	b.stageMatch.Observe(sp.match.Seconds())
+	b.stageFilter.Observe(sp.filter.Seconds())
+	b.stageEnqueue.Observe(sp.enqueue.Seconds())
+}
+
+// recordSlow captures one over-threshold publication into the flight
+// recorder. It runs only for already-slow publications, so its allocations
+// and the QueueDepths callback stay off the healthy hot path.
+func (b *Broker) recordSlow(sp *pubSpan, m *Message, from string, snap *routeSnapshot, pathCount int, dests []string) {
+	e := slowlog.Entry{
+		Broker:     b.cfg.ID,
+		From:       from,
+		TraceID:    m.TraceID,
+		UnixNano:   time.Now().UnixNano(),
+		TotalNanos: int64(sp.total()),
+		Stages: append(sp.hopStages(),
+			trace.StageDur{Stage: trace.StageEnqueue, Nanos: int64(sp.enqueue)}),
+		DocBytes:     len(m.Raw),
+		Paths:        pathCount,
+		Epoch:        snap.epoch,
+		Hops:         len(m.Hops),
+		Destinations: append([]string(nil), dests...),
+	}
+	if b.cfg.QueueDepths != nil {
+		e.QueueDepths = b.cfg.QueueDepths()
+	}
+	b.slow.Record(e)
+}

@@ -1,11 +1,13 @@
 package broker
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/pmatch"
 	"repro/internal/subtree"
 	"repro/internal/symtab"
+	"repro/internal/xpath"
 )
 
 // routeSnapshot is the immutable routing state the publish data plane reads.
@@ -25,7 +27,9 @@ import (
 type routeSnapshot struct {
 	// epoch increments on every swap; 0 is the empty snapshot a new broker
 	// starts with. Metrics expose it and traced publications record the
-	// epoch they matched under.
+	// epoch they matched under. The epoch moves on EVERY effective control
+	// change, even one that recompiled a single shard; shardMeta records per
+	// shard which epoch last recompiled it (DESIGN.md §5g).
 	epoch uint64
 	// prt is a deep copy of the subscription tree (see subtree.CloneWithData).
 	prt *subtree.Tree
@@ -37,15 +41,27 @@ type routeSnapshot struct {
 	// srt is the advertisement table view (entries are immutable after
 	// insertion; the slice is copied on change).
 	srt []*advEntry
-	// auto is the shared path-matching automaton compiled from this
+	// auto is the sharded path-matching automaton compiled from this
 	// snapshot's PRT (payload: sorted last-hop slices) and per-client filter
-	// trees (payload: clientMatch keys). handlePublish does ONE automaton
-	// run per publication sym-path instead of walking every
-	// subscription-tree node. Nil when the broker disables the shared NFA
-	// (Config.DisableSharedNFA) or before any subscription arrives with the
-	// empty snapshot — the publish path then falls back to the covering
-	// tree walk.
-	auto *pmatch.Automaton
+	// trees (payload: clientMatch keys), partitioned by root symbol
+	// (pmatch.ShardIndex). handlePublish runs the shard(s) a path can hit
+	// instead of walking every subscription-tree node; a control change
+	// recompiles only the shard(s) its expression lives in, aliasing the
+	// other slots from the previous snapshot. Nil when the broker disables
+	// the shared NFA (Config.DisableSharedNFA) or before any subscription
+	// arrives with the empty snapshot — the publish path then falls back to
+	// the covering tree walk.
+	auto *pmatch.ShardedAutomaton
+	// shardMeta parallels auto's slots: when and how expensively each shard
+	// was last recompiled. Aliased slots keep their previous meta.
+	shardMeta []shardMeta
+}
+
+// shardMeta records one shard's last recompilation for /statusz and the
+// per-shard metrics.
+type shardMeta struct {
+	epoch        uint64  // snapshot epoch of the last rebuild of this shard
+	buildSeconds float64 // duration of that rebuild
 }
 
 // clientMatch is the automaton payload type of a per-client filter-tree
@@ -63,12 +79,17 @@ func emptySnapshot() *routeSnapshot {
 }
 
 // snapDirty records which master tables a control message touched, so
-// publishSnapshot copies only those.
+// publishSnapshot copies only those — and which matching shards the
+// change's expressions live in, so only those shards recompile.
 type snapDirty struct {
 	prt        bool
 	srt        bool
 	clients    bool
 	clientSubs map[string]bool // per-client filter trees
+	// shards are the slots whose entry sets may have changed; shardsAll is
+	// the conservative everything-changed mark (merge passes, resync).
+	shards    map[int]bool
+	shardsAll bool
 }
 
 func (d *snapDirty) markClientSubs(id string) {
@@ -78,8 +99,25 @@ func (d *snapDirty) markClientSubs(id string) {
 	d.clientSubs[id] = true
 }
 
+func (d *snapDirty) markShard(slot int) {
+	if d.shards == nil {
+		d.shards = make(map[int]bool)
+	}
+	d.shards[slot] = true
+}
+
 func (d *snapDirty) any() bool {
 	return d.prt || d.srt || d.clients || len(d.clientSubs) > 0
+}
+
+// markShard records that a control change touched the matching entries of
+// x's shard, so publishSnapshot recompiles only that slot. Handlers must
+// call it whenever they change WHICH expressions carry routing state or a
+// stateful expression's hop payload; structural-only changes (covering
+// links, forwardedTo bookkeeping) don't move entries between shards and
+// need no mark. Must run with b.mu held.
+func (b *Broker) markShard(x *xpath.XPE) {
+	b.dirty.markShard(pmatch.ShardIndex(x, b.cfg.Shards))
 }
 
 // publishSnapshot swaps in a new immutable snapshot reflecting the master
@@ -96,6 +134,8 @@ func (b *Broker) publishSnapshot() {
 		clients:    old.clients,
 		clientSubs: old.clientSubs,
 		srt:        old.srt,
+		auto:       old.auto,
+		shardMeta:  old.shardMeta,
 	}
 	if b.dirty.prt {
 		next.prt = b.prt.CloneWithData(snapshotHops)
@@ -124,17 +164,15 @@ func (b *Broker) publishSnapshot() {
 		}
 		next.clientSubs = subs
 	}
-	// Recompile the shared matching automaton only when a matched component
-	// changed; control messages touching neither (e.g. a pure client
-	// registration) alias the previous automaton like any other snapshot
-	// component.
-	next.auto = old.auto
-	if !b.cfg.DisableSharedNFA && (b.dirty.prt || len(b.dirty.clientSubs) > 0) {
+	// Recompile only the marked matching shards; control messages touching
+	// no entry (e.g. a pure client registration or an advertisement) alias
+	// the previous automaton like any other snapshot component.
+	if !b.cfg.DisableSharedNFA && (b.dirty.shardsAll || len(b.dirty.shards) > 0) {
 		var start time.Time
 		if b.nfaBuildSeconds != nil {
 			start = time.Now()
 		}
-		next.auto = buildRouteAutomaton(next.prt, next.clientSubs)
+		b.rebuildShards(next, old)
 		if b.nfaBuildSeconds != nil {
 			b.nfaBuildSeconds.Observe(time.Since(start).Seconds())
 		}
@@ -143,23 +181,85 @@ func (b *Broker) publishSnapshot() {
 	b.snap.Store(next)
 }
 
-// buildRouteAutomaton compiles one shared NFA covering every expression the
-// publish path consults: PRT nodes carrying last-hop state (their sorted
-// hop slice is the payload) and every client filter-tree node (the client
-// ID is the payload). Stateless PRT nodes — pure covering structure — admit
-// no routing decision and are left out.
-func buildRouteAutomaton(prt *subtree.Tree, clientSubs map[string]*subtree.Tree) *pmatch.Automaton {
-	bld := pmatch.NewBuilder()
-	prt.Walk(func(n *subtree.Node) {
-		if hops := snapshotNodeHops(n); len(hops) > 0 {
-			bld.Add(n.XPE, hops)
+// rebuildShards compiles the dirty slots of the sharded automaton from the
+// new snapshot's (immutable) PRT and client filter trees, aliasing every
+// clean slot's automaton from the previous snapshot. One walk of the tables
+// buckets the dirty slots' expressions; slots then build independently — on
+// parallel goroutines when more than one is dirty, each with its own
+// pmatch.Builder (the Builder's concurrency guard enforces that isolation).
+func (b *Broker) rebuildShards(next, old *routeSnapshot) {
+	n := b.cfg.Shards
+	nslots := pmatch.Slots(n)
+	dirty := make([]bool, nslots)
+	if old.auto == nil || b.dirty.shardsAll {
+		for i := range dirty {
+			dirty[i] = true
+		}
+	} else {
+		for slot := range b.dirty.shards {
+			if slot >= 0 && slot < nslots {
+				dirty[slot] = true
+			}
+		}
+	}
+
+	type pair struct {
+		x    *xpath.XPE
+		data any
+	}
+	buckets := make([][]pair, nslots)
+	addTo := func(x *xpath.XPE, data any) {
+		if slot := pmatch.ShardIndex(x, n); dirty[slot] {
+			buckets[slot] = append(buckets[slot], pair{x, data})
+		}
+	}
+	next.prt.Walk(func(nd *subtree.Node) {
+		if hops := snapshotNodeHops(nd); len(hops) > 0 {
+			addTo(nd.XPE, hops)
 		}
 	})
-	for id, t := range clientSubs {
+	for id, t := range next.clientSubs {
 		key := clientMatch(id)
-		t.Walk(func(n *subtree.Node) { bld.Add(n.XPE, key) })
+		t.Walk(func(nd *subtree.Node) { addTo(nd.XPE, key) })
 	}
-	return bld.Build()
+
+	autos := make([]*pmatch.Automaton, nslots)
+	meta := make([]shardMeta, nslots)
+	var todo []int
+	for slot := 0; slot < nslots; slot++ {
+		if dirty[slot] {
+			todo = append(todo, slot)
+		} else {
+			autos[slot] = old.auto.Slot(slot)
+			meta[slot] = old.shardMeta[slot]
+		}
+	}
+	build := func(slot int) {
+		start := time.Now()
+		bld := pmatch.NewBuilder()
+		for _, p := range buckets[slot] {
+			bld.Add(p.x, p.data)
+		}
+		autos[slot] = bld.Build()
+		meta[slot] = shardMeta{epoch: next.epoch, buildSeconds: time.Since(start).Seconds()}
+	}
+	if len(todo) > 1 {
+		var wg sync.WaitGroup
+		for _, slot := range todo {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				build(slot)
+			}(slot)
+		}
+		wg.Wait()
+	} else {
+		for _, slot := range todo {
+			build(slot)
+		}
+	}
+	next.auto = pmatch.NewSharded(n, autos)
+	next.shardMeta = meta
 }
 
 // snapshotHops projects a PRT node's routing state into the snapshot form:
@@ -201,11 +301,68 @@ func (b *Broker) SnapshotEpoch() uint64 {
 	return b.snap.Load().epoch
 }
 
-// NFAStats measures the current snapshot's shared matching automaton
-// (zeroes when it is absent). Lock-free, like every snapshot reader.
+// NFAStats measures the current snapshot's shared matching automaton,
+// summed across shards (zeroes when it is absent). Lock-free, like every
+// snapshot reader.
 func (b *Broker) NFAStats() pmatch.Stats {
 	if a := b.snap.Load().auto; a != nil {
 		return a.Stats()
 	}
 	return pmatch.Stats{}
+}
+
+// ShardStatus describes one slot of the current snapshot's sharded
+// automaton for /statusz and cmd/xtop.
+type ShardStatus struct {
+	// Shard is the slot's name: "0".."N-1" for anchored shards, "wild" for
+	// the slot every publication consults.
+	Shard string `json:"shard"`
+	// Entries and States size the slot's automaton.
+	Entries int `json:"entries"`
+	States  int `json:"states"`
+	// Epoch is the snapshot epoch at which this shard was last recompiled
+	// (it lags the broker's snapshot epoch while the shard is aliased).
+	Epoch uint64 `json:"epoch"`
+	// LastBuildSeconds is the duration of that recompilation.
+	LastBuildSeconds float64 `json:"last_build_seconds"`
+}
+
+// ShardStatus reports the per-shard state of the current snapshot's
+// matching automaton, in slot order (nil when the automaton is absent).
+// Lock-free, like every snapshot reader.
+func (b *Broker) ShardStatus() []ShardStatus {
+	snap := b.snap.Load()
+	if snap.auto == nil {
+		return nil
+	}
+	out := make([]ShardStatus, snap.auto.SlotCount())
+	for i := range out {
+		slot := snap.auto.Slot(i)
+		out[i] = ShardStatus{
+			Shard:   pmatch.SlotName(i, snap.auto.N()),
+			Entries: slot.NumEntries(),
+			States:  slot.NumStates(),
+		}
+		if i < len(snap.shardMeta) {
+			out[i].Epoch = snap.shardMeta[i].epoch
+			out[i].LastBuildSeconds = snap.shardMeta[i].buildSeconds
+		}
+	}
+	return out
+}
+
+// shardSlotStatus reads one slot's status from the current snapshot (zero
+// value when absent) — the per-shard metrics gauges poll it.
+func (b *Broker) shardSlotStatus(slot int) ShardStatus {
+	snap := b.snap.Load()
+	if snap.auto == nil || slot >= snap.auto.SlotCount() {
+		return ShardStatus{}
+	}
+	a := snap.auto.Slot(slot)
+	st := ShardStatus{Entries: a.NumEntries(), States: a.NumStates()}
+	if slot < len(snap.shardMeta) {
+		st.Epoch = snap.shardMeta[slot].epoch
+		st.LastBuildSeconds = snap.shardMeta[slot].buildSeconds
+	}
+	return st
 }

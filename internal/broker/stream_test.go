@@ -84,6 +84,15 @@ var streamTestModes = []struct {
 	{"decompose-raw", Config{DisableStreaming: true}, true},
 	{"decompose-doc", Config{DisableStreaming: true}, false},
 	{"treewalk-doc", Config{DisableSharedNFA: true}, false},
+	// Sharded variants (Shards is explicit — the default is GOMAXPROCS,
+	// which is 1 on single-core hosts): partitioning the automaton must not
+	// change a single forwarded byte, streaming or decomposed, nor may the
+	// parallel per-path fan-out.
+	{"stream-raw-sharded", Config{Shards: 8}, true},
+	{"stream-doc-sharded", Config{Shards: 8}, false},
+	{"decompose-raw-sharded", Config{DisableStreaming: true, Shards: 8}, true},
+	{"decompose-doc-parallel", Config{DisableStreaming: true, Shards: 8, ParallelMatchPaths: 1}, false},
+	{"stream-raw-single", Config{Shards: 1}, true},
 }
 
 // TestStreamingRoutesLikeDecomposition is the broker-level differential

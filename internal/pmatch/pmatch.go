@@ -47,6 +47,7 @@ package pmatch
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/symtab"
 	"repro/internal/xpath"
@@ -101,10 +102,30 @@ type Stats struct {
 
 // Builder accumulates expressions and compiles the shared automaton.
 // The zero value is not usable; call NewBuilder.
+//
+// A Builder is single-use and single-goroutine: the busy/done guards turn
+// concurrent Add/Build calls and use after Build into panics instead of
+// silent corruption — per-shard builders run on parallel goroutines in the
+// broker, so the non-concurrency contract is enforced, not just documented.
 type Builder struct {
 	states  []state
 	entries []entry
+	busy    atomic.Int32
+	done    bool
 }
+
+// begin enters a guarded builder operation; end leaves it.
+func (b *Builder) begin() {
+	if !b.busy.CompareAndSwap(0, 1) {
+		panic("pmatch: Builder used concurrently")
+	}
+	if b.done {
+		b.busy.Store(0)
+		panic("pmatch: Builder used after Build")
+	}
+}
+
+func (b *Builder) end() { b.busy.Store(0) }
 
 // NewBuilder returns an empty builder holding only the start state.
 func NewBuilder() *Builder {
@@ -121,6 +142,8 @@ func (b *Builder) Len() int { return len(b.entries) }
 // nothing and are ignored. The expression must not be mutated afterwards
 // (its interned step symbols are cached, see XPE.Syms).
 func (b *Builder) Add(x *xpath.XPE, data any) {
+	b.begin()
+	defer b.end()
 	if x == nil || x.Len() == 0 {
 		return
 	}
@@ -186,8 +209,12 @@ func (b *Builder) newState() int32 {
 	return int32(len(b.states) - 1)
 }
 
-// Build finalises the automaton. The builder must not be used afterwards.
+// Build finalises the automaton. The builder must not be used afterwards
+// (further Add/Build calls panic).
 func (b *Builder) Build() *Automaton {
+	b.begin()
+	defer b.end()
+	b.done = true
 	a := &Automaton{states: b.states, entries: b.entries}
 	nstates, nentries := len(a.states), len(a.entries)
 	a.pool.New = func() any {
@@ -210,6 +237,13 @@ func (b *Builder) Build() *Automaton {
 	b.states, b.entries = nil, nil
 	return a
 }
+
+// NumEntries returns the number of compiled expressions (O(1), unlike the
+// full Stats walk — per-shard status surfaces poll it).
+func (a *Automaton) NumEntries() int { return len(a.entries) }
+
+// NumStates returns the number of automaton states (O(1)).
+func (a *Automaton) NumStates() int { return len(a.states) }
 
 // Stats measures the automaton.
 func (a *Automaton) Stats() Stats {

@@ -140,9 +140,25 @@ func hexOf(s string) string {
 	return string([]byte{hexdig[c>>4], hexdig[c&0xf]}) + ";"
 }
 
+// diffAutomatons compiles the workload into the single-shard (monolithic)
+// and a 4-shard partitioned automaton: the harness asserts the four-way
+// equivalence for both, so sharding cannot change a verdict.
+func diffAutomatons(xs []*xpath.XPE) map[string]*pmatch.ShardedAutomaton {
+	mono := pmatch.NewBuilder()
+	sharded := pmatch.NewShardedBuilder(4)
+	for i, x := range xs {
+		mono.Add(x, i)
+		sharded.Add(x, i)
+	}
+	return map[string]*pmatch.ShardedAutomaton{
+		"shards=1": pmatch.Single(mono.Build()),
+		"shards=4": sharded.Build(),
+	}
+}
+
 // fourWayVerdicts evaluates the same workload along all four routes and
 // returns the sorted entry-index sets.
-func fourWayVerdicts(t *testing.T, auto *pmatch.Automaton, xs []*xpath.XPE, doc *xmldoc.Document, raw []byte) (streamed, treed, decomposed, oracle []int) {
+func fourWayVerdicts(t *testing.T, auto *pmatch.ShardedAutomaton, xs []*xpath.XPE, doc *xmldoc.Document, raw []byte) (streamed, treed, decomposed, oracle []int) {
 	t.Helper()
 	collectInto := func(dst *[]int) func(any) {
 		seen := map[int]bool{}
@@ -179,7 +195,7 @@ func fourWayVerdicts(t *testing.T, auto *pmatch.Automaton, xs []*xpath.XPE, doc 
 	return streamed, treed, decomposed, oracle
 }
 
-func assertFourWay(t *testing.T, auto *pmatch.Automaton, xs []*xpath.XPE, doc *xmldoc.Document, raw []byte, ctx string) {
+func assertFourWay(t *testing.T, auto *pmatch.ShardedAutomaton, xs []*xpath.XPE, doc *xmldoc.Document, raw []byte, ctx string) {
 	t.Helper()
 	streamed, treed, decomposed, oracle := fourWayVerdicts(t, auto, xs, doc, raw)
 	if !eqIntSlices(streamed, oracle) || !eqIntSlices(treed, oracle) || !eqIntSlices(decomposed, oracle) {
@@ -208,21 +224,21 @@ func TestQuickStreamEquivalence(t *testing.T) {
 	r := rand.New(rand.NewSource(41))
 	for round := 0; round < 40; round++ {
 		nx := 1 + r.Intn(30)
-		b := pmatch.NewBuilder()
 		xs := make([]*xpath.XPE, nx)
 		for i := range xs {
 			xs[i] = diffXPE(r)
-			b.Add(xs[i], i)
 		}
-		auto := b.Build()
+		autos := diffAutomatons(xs)
 		for trial := 0; trial < 15; trial++ {
 			doc := &xmldoc.Document{Root: diffTree(r, 0)}
 			var sb strings.Builder
 			decorate(r, doc.Root, &sb)
-			assertFourWay(t, auto, xs, doc, []byte(sb.String()), "quick")
-			// The undecorated serialisation too (self-closing vs explicit
-			// close, escaped attrs through xmldoc's own writer).
-			assertFourWay(t, auto, xs, doc, doc.Marshal(), "quick-marshal")
+			for name, auto := range autos {
+				assertFourWay(t, auto, xs, doc, []byte(sb.String()), "quick/"+name)
+				// The undecorated serialisation too (self-closing vs explicit
+				// close, escaped attrs through xmldoc's own writer).
+				assertFourWay(t, auto, xs, doc, doc.Marshal(), "quick-marshal/"+name)
+			}
 		}
 	}
 }
@@ -258,7 +274,6 @@ func TestDTDStreamEquivalence(t *testing.T) {
 				}
 				walk(docs[i].Root)
 			}
-			b := pmatch.NewBuilder()
 			var xs []*xpath.XPE
 			for i := 0; i < 40; i++ {
 				x := tc.xg.Generate()
@@ -274,12 +289,13 @@ func TestDTDStreamEquivalence(t *testing.T) {
 					steps[si].Preds = xpath.EncodePreds([]xpath.Pred{{Attr: p.Name, Value: p.Value}})
 					x = xpath.New(x.Relative, steps...)
 				}
-				b.Add(x, len(xs))
 				xs = append(xs, x)
 			}
-			auto := b.Build()
+			autos := diffAutomatons(xs)
 			for _, doc := range docs {
-				assertFourWay(t, auto, xs, doc, doc.Marshal(), tc.name)
+				for name, auto := range autos {
+					assertFourWay(t, auto, xs, doc, doc.Marshal(), tc.name+"/"+name)
+				}
 			}
 		})
 	}
@@ -290,7 +306,7 @@ func TestDTDStreamEquivalence(t *testing.T) {
 // must not leak state between concurrent runs (run under -race in CI).
 func TestStreamEquivalenceConcurrent(t *testing.T) {
 	r := rand.New(rand.NewSource(59))
-	b := pmatch.NewBuilder()
+	b := pmatch.NewShardedBuilder(4) // pooled sharded cursors race here too
 	xs := make([]*xpath.XPE, 25)
 	for i := range xs {
 		xs[i] = diffXPE(r)

@@ -38,7 +38,9 @@ func FuzzStreamEquivalence(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
 		r := rand.New(rand.NewSource(int64(seed)))
 		nx := 1 + int(seed%8)
-		b := pmatch.NewBuilder()
+		// Shard count varies with the seed (1 = monolithic), so the fuzzer
+		// also hunts for sharding-induced verdict divergence.
+		b := pmatch.NewShardedBuilder(1 + int(seed%4))
 		xs := make([]*xpath.XPE, nx)
 		for i := range xs {
 			xs[i] = diffXPE(r)

@@ -66,7 +66,7 @@ var WireLimits = Limits{MaxDepth: MaxDocDepth, MaxElems: MaxDocElems, MaxName: M
 // post-filter needs. Pooled; one matcher serves one Match call at a time.
 type matcher struct {
 	sc    scanner
-	cur   *pmatch.Cursor
+	cur   *pmatch.ShardedCursor
 	visit func(data any)
 
 	// Per-open-element stacks, index = depth (root at 0).
@@ -101,7 +101,11 @@ var matcherPool = sync.Pool{New: func() any {
 // at most once. A nil automaton validates only. On error the document is
 // rejected; any visits already made must be discarded by the caller.
 // Safe for concurrent use.
-func Match(data []byte, a *pmatch.Automaton, lim Limits, visit func(data any)) error {
+//
+// The automaton is the broker's sharded form (pmatch.Single wraps a
+// monolithic one): the cursor binds the document root's anchored shard at
+// the first start tag and drives it alongside the wild shard.
+func Match(data []byte, a *pmatch.ShardedAutomaton, lim Limits, visit func(data any)) error {
 	m := matcherPool.Get().(*matcher)
 	defer m.release()
 	m.sc.reset(data, lim)
@@ -122,7 +126,7 @@ func Scan(data []byte, lim Limits) error {
 // accept events per element, predicates post-filtered against the live
 // stack. The broker's parsed-publication path uses it so streaming on/off
 // differs only in parsing, never in matching. Safe for concurrent use.
-func MatchDoc(d *xmldoc.Document, a *pmatch.Automaton, visit func(data any)) {
+func MatchDoc(d *xmldoc.Document, a *pmatch.ShardedAutomaton, visit func(data any)) {
 	if d == nil || d.Root == nil || a == nil {
 		return
 	}
