@@ -1,10 +1,13 @@
 package xmlrouter
 
 import (
+	"bytes"
+	"io"
 	"testing"
 
 	"repro/internal/broker"
 	"repro/internal/metrics"
+	"repro/internal/wirefmt"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
@@ -43,4 +46,57 @@ func TestPublishAllocsPinned(t *testing.T) {
 	}
 	t.Run("no-metrics", func(t *testing.T) { run(t, nil) })
 	t.Run("with-metrics", func(t *testing.T) { run(t, metrics.NewRegistry()) })
+
+	// The binary wire codec is pinned to ZERO allocations per publication at
+	// steady state, both directions: the per-link symbol dictionary is warm
+	// after the first message, the encoder reuses its batch buffers, and the
+	// decoder reuses its frame buffer and the caller's message capacities.
+	// Any regression here puts a per-message allocation on every broker hop.
+	t.Run("wire-encode", func(t *testing.T) {
+		m := &broker.Message{Type: broker.MsgPublish, Pub: pub, Stamp: 1}
+		enc := wirefmt.NewEncoder(io.Discard, wirefmt.DefaultLimits)
+		if err := enc.Encode(m); err != nil { // warm the dictionary
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			if err := enc.Encode(m); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("steady-state wire encode = %.1f allocs/op, want 0", avg)
+		}
+	})
+	t.Run("wire-decode", func(t *testing.T) {
+		m := &broker.Message{Type: broker.MsgPublish, Pub: pub, Stamp: 1}
+		var warm, frame bytes.Buffer
+		enc := wirefmt.NewEncoder(io.MultiWriter(&warm, &frame), wirefmt.DefaultLimits)
+		if err := enc.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+		frame.Reset() // keep only the dictionary-warm frame bytes
+		if err := enc.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+		dec := wirefmt.NewDecoder(&warm, wirefmt.DefaultLimits)
+		var got broker.Message
+		if err := dec.Decode(&got); err != nil { // consume the dict frame
+			t.Fatal(err)
+		}
+		if err := dec.Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		steady := frame.Bytes()
+		r := bytes.NewReader(nil)
+		avg := testing.AllocsPerRun(200, func() {
+			r.Reset(steady)
+			dec.Reset(r)
+			if err := dec.Decode(&got); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("steady-state wire decode = %.1f allocs/op, want 0", avg)
+		}
+	})
 }

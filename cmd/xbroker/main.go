@@ -58,6 +58,11 @@ func main() {
 		reconnectMax = flag.Duration("reconnect-max", 0, "reconnect backoff ceiling (default 2s)")
 		retryBuffer  = flag.Int("retry-buffer", 0, "control messages buffered per neighbour across outages (default 1024)")
 		dialBudget   = flag.Int("dial-budget", 0, "consecutive failed dials before a link goes dormant until new control traffic (0 = unlimited)")
+
+		wire           = flag.String("wire", "binary", "neighbour/client wire codec: binary (zero-copy batched frames) or gob (legacy fallback; a binary offer from the peer is negotiated down)")
+		flushInterval  = flag.Duration("flush-interval", 0, "how long a queued publication may linger to grow its batch (0 = flush opportunistically, no added latency)")
+		maxBatchBytes  = flag.Int("max-batch-bytes", 0, "flush a neighbour batch once it holds this many bytes (default 256KiB)")
+		maxBatchFrames = flag.Int("max-batch-frames", 0, "flush a neighbour batch once it holds this many frames (default 128)")
 	)
 	flag.Parse()
 
@@ -97,13 +102,20 @@ func main() {
 		log.Fatalf("xbroker: unknown merging mode %q", *merging)
 	}
 
+	if *wire != transport.WireBinary && *wire != transport.WireGob {
+		log.Fatalf("xbroker: unknown wire codec %q (want binary or gob)", *wire)
+	}
 	srv := transport.NewServerOptions(cfg, nb, transport.Options{
-		Heartbeat:    *heartbeat,
-		DeadAfter:    *deadAfter,
-		ReconnectMin: *reconnectMin,
-		ReconnectMax: *reconnectMax,
-		RetryBuffer:  *retryBuffer,
-		DialBudget:   *dialBudget,
+		Heartbeat:      *heartbeat,
+		DeadAfter:      *deadAfter,
+		ReconnectMin:   *reconnectMin,
+		ReconnectMax:   *reconnectMax,
+		RetryBuffer:    *retryBuffer,
+		DialBudget:     *dialBudget,
+		Wire:           *wire,
+		FlushInterval:  *flushInterval,
+		MaxBatchBytes:  *maxBatchBytes,
+		MaxBatchFrames: *maxBatchFrames,
 	})
 	addr, err := srv.Listen(*listen)
 	if err != nil {

@@ -56,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		raw          = fs.Bool("raw", false, "publish the file as raw XML bytes so brokers route it with the streaming matcher (no tree is ever built)")
 		traced       = fs.Bool("trace", false, "stamp the publication with a trace ID for per-hop tracing (query /debug/traces on the brokers)")
 		reconnect    = fs.Bool("reconnect", false, "redial a lost broker connection with backoff and replay subscriptions/advertisements")
+		wire         = fs.String("wire", "binary", "wire codec to offer the broker: binary or gob (the broker may negotiate binary down)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,7 +65,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
 
-	c, err := transport.DialOptions(*connect, *id, transport.ClientOptions{Reconnect: *reconnect})
+	if *wire != transport.WireBinary && *wire != transport.WireGob {
+		return fmt.Errorf("unknown wire codec %q (want binary or gob)", *wire)
+	}
+	c, err := transport.DialOptions(*connect, *id, transport.ClientOptions{Reconnect: *reconnect, Wire: *wire})
 	if err != nil {
 		return err
 	}

@@ -35,10 +35,13 @@ var stageOrder = []string{"decode", "queue", "match", "filter", "enqueue", "flus
 
 // linkInfo mirrors transport.LinkStatus's JSON.
 type linkInfo struct {
-	Peer       string `json:"peer"`
-	Up         bool   `json:"up"`
-	QueueDepth int    `json:"queue_depth"`
-	Buffered   int    `json:"buffered"`
+	Peer       string  `json:"peer"`
+	Up         bool    `json:"up"`
+	QueueDepth int     `json:"queue_depth"`
+	Buffered   int     `json:"buffered"`
+	Codec      string  `json:"codec"`
+	TxBytes    int64   `json:"tx_bytes"`
+	BatchP50   float64 `json:"batch_p50"`
 }
 
 // stageQ mirrors admin.StageQuantiles's JSON.
@@ -212,10 +215,10 @@ func render(out io.Writer, results []result, clear bool) {
 	fmt.Fprintf(&b, "xtop — %s\n\n", time.Now().Format("15:04:05"))
 
 	// Overview table.
-	tw := newTable(&b, "BROKER", "TARGET", "UP", "EPOCH", "PUB/S", "DLV/S", "LINKS", "QMAX", "SLOW", "SHARDS")
+	tw := newTable(&b, "BROKER", "TARGET", "UP", "EPOCH", "PUB/S", "DLV/S", "LINKS", "WIRE", "QMAX", "SLOW", "SHARDS")
 	for _, r := range results {
 		if r.Status == nil {
-			tw.row("?", r.Target, "DOWN", "-", "-", "-", "-", "-", "-", "-")
+			tw.row("?", r.Target, "DOWN", "-", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}
 		st := r.Status
@@ -239,6 +242,7 @@ func render(out io.Writer, results []result, clear bool) {
 			formatRate(rateOf(st, `xbroker_msgs_in_total{type="publish"}`)),
 			formatRate(rateOf(st, "xbroker_deliveries_total")),
 			fmt.Sprintf("%d/%d", up, total),
+			formatWire(st),
 			fmt.Sprint(qmax),
 			fmt.Sprint(st.SlowTotal),
 			formatShards(st.Shards),
@@ -301,6 +305,64 @@ func formatShards(shards []shardInfo) string {
 		entries += s.Entries
 	}
 	return fmt.Sprintf("%d:%d", len(shards), entries)
+}
+
+// formatWire summarises the neighbour links' wire state: the negotiated
+// codec (or codecs, mid-rollout), the worst median frames-per-flush across
+// up links, and the outbound byte rate from the xbroker_wire_tx_bytes_total
+// counters.
+func formatWire(st *status) string {
+	codecs := []string{}
+	batch := 0.0
+	for _, l := range st.Links {
+		if !l.Up || l.Codec == "" {
+			continue
+		}
+		seen := false
+		for _, c := range codecs {
+			if c == l.Codec {
+				seen = true
+			}
+		}
+		if !seen {
+			codecs = append(codecs, l.Codec)
+		}
+		if l.BatchP50 > batch {
+			batch = l.BatchP50
+		}
+	}
+	if len(codecs) == 0 {
+		return "-"
+	}
+	sort.Strings(codecs)
+	out := strings.Join(codecs, "+")
+	if batch > 0 {
+		out += fmt.Sprintf(" b%.0f", batch)
+	}
+	// The tx-bytes counter is labelled per codec; sum the series so the
+	// rate stays truthful mid-rollout when both codecs carry traffic.
+	rate := 0.0
+	for k, v := range st.RatesPerSec {
+		if strings.HasPrefix(k, "xbroker_wire_tx_bytes_total") && v > 0 {
+			rate += v
+		}
+	}
+	if rate > 0 {
+		out += " " + formatBytesRate(rate)
+	}
+	return out
+}
+
+// formatBytesRate renders a bytes-per-second rate with a binary unit.
+func formatBytesRate(v float64) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMB/s", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKB/s", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB/s", v)
+	}
 }
 
 func formatRate(v float64) string {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/faultinject"
+	"repro/internal/wirefmt"
 )
 
 // Delivery records a publication arriving at a client.
@@ -321,22 +322,14 @@ func (n *Network) step() int {
 	panic(fmt.Sprintf("sim: event for unknown peer %s", e.to))
 }
 
-// transfer returns the serialisation delay for a message on a link.
+// transfer returns the serialisation delay for a message on a link, sized
+// with the binary wire codec's analytic estimator so simulated bandwidth
+// costs track what the real transport puts on a warm-dictionary link.
 func (n *Network) transfer(m *broker.Message) time.Duration {
 	if n.Bandwidth <= 0 {
 		return 0
 	}
-	size := 96 // control-message envelope estimate
-	if len(m.Raw) > 0 {
-		size = len(m.Raw)
-	} else if m.Doc != nil {
-		size = m.Doc.Size()
-	} else if m.Type == broker.MsgPublish {
-		for _, el := range m.Pub.Path {
-			size += len(el) + 1
-		}
-	}
-	return time.Duration(float64(size) / n.Bandwidth * float64(time.Second))
+	return time.Duration(float64(wirefmt.EstimateSize(m)) / n.Bandwidth * float64(time.Second))
 }
 
 // BrokerReceived returns how many messages of each type brokers received —

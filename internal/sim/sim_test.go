@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/advert"
 	"repro/internal/broker"
+	"repro/internal/wirefmt"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
@@ -340,9 +341,14 @@ func TestTransferDelay(t *testing.T) {
 	}
 	m := &broker.Message{Type: broker.MsgPublish, Doc: doc}
 	got := n.transfer(m)
-	want := time.Duration(float64(doc.Size()) / 1e6 * float64(time.Second))
+	want := time.Duration(float64(wirefmt.EstimateSize(m)) / 1e6 * float64(time.Second))
 	if got != want {
 		t.Errorf("transfer = %v, want %v", got, want)
+	}
+	// The wire estimate must stay anchored to the document's actual bulk —
+	// the 10KB of character data dominates whatever framing the codec adds.
+	if min := time.Duration(float64(doc.Size()) / 1e6 * float64(time.Second)); got < min/2 || got > 2*min {
+		t.Errorf("transfer = %v, not within 2x of the %v raw-size delay", got, min)
 	}
 	if n.transfer(subMsg("/a")) == 0 {
 		t.Error("control messages should have a small transfer cost")

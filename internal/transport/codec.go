@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/gob"
+	"io"
+	"net"
+	"sync/atomic"
+
+	"repro/internal/broker"
+	"repro/internal/wirefmt"
+)
+
+// Wire codec names, as negotiated in the hello exchange and selected by
+// Options.Wire / ClientOptions.Wire / xbroker -wire.
+const (
+	// WireBinary is the hand-rolled varint codec (package wirefmt) with
+	// per-link symbol dictionaries and batched vectored writes — the
+	// default data plane.
+	WireBinary = "binary"
+	// WireGob is the reflection-based gob codec the system started with,
+	// kept as the rollout fallback and the ablation baseline.
+	WireGob = "gob"
+)
+
+// frameWriter is the single place a connection's outbound codec lives:
+// every frame the transport writes — hellos excluded, those are always gob —
+// goes through one of these. Implementations are not safe for concurrent
+// use; the transport funnels each connection's writes through one goroutine
+// (the peerConn writer) or one mutex (the client).
+//
+// Queue stages a message; Flush puts everything staged on the wire. The gob
+// implementation writes in Queue (gob has no deferred form) and Flush is a
+// no-op, so callers batch with Queue×N+Flush and get vectored writes when
+// the codec supports them.
+type frameWriter interface {
+	Queue(m *broker.Message) error
+	Flush() error
+	// Codec names the wire format ("binary" or "gob").
+	Codec() string
+	// Pending approximates the staged-but-unflushed bytes (always 0 for gob).
+	Pending() int
+	// TxBytes and TxFrames are cumulative totals, readable from any
+	// goroutine (link status and wire metrics).
+	TxBytes() int64
+	TxFrames() int64
+}
+
+// writeFrame is Queue+Flush — the unbatched path.
+func writeFrame(w frameWriter, m *broker.Message) error {
+	if err := w.Queue(m); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// binWriter adapts wirefmt.Encoder to frameWriter.
+type binWriter struct {
+	enc    *wirefmt.Encoder
+	bytes  atomic.Int64
+	frames atomic.Int64
+}
+
+func newBinWriter(w io.Writer) *binWriter {
+	return &binWriter{enc: wirefmt.NewEncoder(w, wirefmt.DefaultLimits)}
+}
+
+func (b *binWriter) Queue(m *broker.Message) error { return b.enc.Queue(m) }
+
+func (b *binWriter) Flush() error {
+	n, err := b.enc.Flush()
+	if err != nil {
+		return err
+	}
+	b.bytes.Add(n)
+	b.frames.Store(b.enc.Frames)
+	return nil
+}
+
+func (b *binWriter) Codec() string   { return WireBinary }
+func (b *binWriter) Pending() int    { return b.enc.Pending() }
+func (b *binWriter) TxBytes() int64  { return b.bytes.Load() }
+func (b *binWriter) TxFrames() int64 { return b.frames.Load() }
+
+// gobWriter adapts a gob.Encoder to frameWriter. The encoder must have been
+// constructed over the countWriter so TxBytes sees what gob wrote.
+type gobWriter struct {
+	enc    *gob.Encoder
+	cw     *countWriter
+	frames atomic.Int64
+}
+
+func newGobWriter(enc *gob.Encoder, cw *countWriter) *gobWriter {
+	return &gobWriter{enc: enc, cw: cw}
+}
+
+func (g *gobWriter) Queue(m *broker.Message) error {
+	if err := g.enc.Encode(m); err != nil {
+		return err
+	}
+	g.frames.Add(1)
+	return nil
+}
+
+func (g *gobWriter) Flush() error    { return nil }
+func (g *gobWriter) Codec() string   { return WireGob }
+func (g *gobWriter) Pending() int    { return 0 }
+func (g *gobWriter) TxBytes() int64  { return g.cw.n.Load() }
+func (g *gobWriter) TxFrames() int64 { return g.frames.Load() }
+
+// countWriter counts bytes through to an underlying writer — the gob path's
+// substitute for the binary encoder's own flush accounting.
+type countWriter struct {
+	w io.Writer
+	n atomic.Int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// frameReader is the inbound counterpart: one per connection, owned by its
+// read loop.
+type frameReader interface {
+	Decode(m *broker.Message) error
+	Codec() string
+}
+
+type binReader struct{ dec *wirefmt.Decoder }
+
+func (b binReader) Decode(m *broker.Message) error { return b.dec.Decode(m) }
+func (b binReader) Codec() string                  { return WireBinary }
+
+type gobReader struct{ dec *gob.Decoder }
+
+func (g gobReader) Decode(m *broker.Message) error { return g.dec.Decode(m) }
+func (g gobReader) Codec() string                  { return WireGob }
+
+// connReader is the read-side plumbing every connection starts with: an
+// explicit bufio.Reader over the (optionally timing-instrumented) socket.
+// The hello handshake is decoded through gob over this same bufio.Reader —
+// gob sees an io.ByteReader, so it adds no buffering of its own, and the
+// bytes following the handshake are still in OUR buffer wherever the
+// negotiation lands. Without this, gob's internal bufio would swallow the
+// head of the binary stream.
+type connReader struct {
+	br *bufio.Reader
+	tr *timedReader // nil when decode timing is off
+}
+
+func newConnReader(conn net.Conn, timed bool) connReader {
+	if !timed {
+		return connReader{br: bufio.NewReader(conn)}
+	}
+	tr := &timedReader{conn: conn}
+	return connReader{br: bufio.NewReader(tr), tr: tr}
+}
+
+// reader builds the post-handshake frame reader. For gob it continues with
+// the handshake's decoder (the stream's type dictionary lives there); for
+// binary it hands the buffered reader to a fresh wirefmt decoder.
+func (cr connReader) reader(codec string, hdec *gob.Decoder) frameReader {
+	if codec == WireBinary {
+		return binReader{dec: wirefmt.NewDecoder(cr.br, wirefmt.DefaultLimits)}
+	}
+	return gobReader{dec: hdec}
+}
+
+// chooseWire resolves an offered codec against the local preference. An
+// empty offer is the legacy gob handshake (no reply expected); otherwise
+// binary is spoken only when both ends want it.
+func chooseWire(offer, local string) string {
+	if offer == WireBinary && local == WireBinary {
+		return WireBinary
+	}
+	return WireGob
+}

@@ -1,0 +1,280 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/advert"
+	"repro/internal/broker"
+	"repro/internal/trace"
+	"repro/internal/wirefmt"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// diffMessages is one message per frame type with every optional field
+// populated — the corpus the two codecs must agree on.
+func diffMessages(t testing.TB) []*broker.Message {
+	t.Helper()
+	doc, err := xmldoc.Parse([]byte(`<inventory count="3"><book lang="en"><title>Routing</title></book><cd/></inventory>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*broker.Message{
+		{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/inventory/book/title")},
+		{Type: broker.MsgSubscribe, XPE: xpath.MustParse(`//book[@lang="en"]/*`)},
+		{Type: broker.MsgUnsubscribe, XPE: xpath.MustParse("/inventory//cd")},
+		{
+			Type:  broker.MsgAdvertise,
+			AdvID: "adv-1",
+			Adv: advert.NewAdvertisement(
+				advert.Sym("inventory"),
+				advert.Rep(advert.Sym("book"), advert.Sym("cd")),
+			),
+		},
+		{Type: broker.MsgUnadvertise, AdvID: "adv-1"},
+		{
+			Type: broker.MsgPublish,
+			Pub: xmldoc.Publication{
+				DocID:  42,
+				PathID: 7,
+				Path:   []string{"inventory", "book", "title"},
+				Attrs: []map[string]string{
+					{"count": "3"},
+					{"lang": "en", "id": "b1"},
+					nil,
+				},
+			},
+			Stamp:   1234567890,
+			TraceID: "trace-abc",
+			Hops: []trace.Hop{
+				{Broker: "b1", UnixNano: 1700000000000000000, Epoch: 3, Stages: []trace.StageDur{
+					{Stage: "decode", Nanos: 1200},
+					{Stage: "match", Nanos: 340},
+				}},
+				{Broker: "b2", UnixNano: 1700000000000500000, Epoch: 9},
+			},
+		},
+		{Type: broker.MsgPublish, Pub: xmldoc.Publication{DocID: 43}, Doc: doc},
+		{Type: broker.MsgPublish, Pub: xmldoc.Publication{DocID: 44}, Raw: []byte(`<inventory><book/></inventory>`)},
+		{Type: broker.MsgPublish, Pub: xmldoc.Publication{DocID: 45}, Raw: bytes.Repeat([]byte("x"), 4096)},
+		{
+			Type: broker.MsgResync,
+			Resync: &broker.ResyncState{
+				Advs: []broker.ResyncAdv{
+					{ID: "adv-a", Adv: advert.NewAdvertisement(advert.Sym("inventory"))},
+				},
+				Subs: []*xpath.XPE{xpath.MustParse("/inventory/book"), xpath.MustParse("//title")},
+			},
+		},
+		{Type: broker.MsgHeartbeat},
+	}
+}
+
+// normalizeEmpties maps empty containers to nil in place. gob cannot tell a
+// nil map or slice from an empty one (both arrive nil or empty depending on
+// position), and neither can anything downstream of the decoder — the two
+// forms are wire-equivalent, so the differential comparison folds them.
+func normalizeEmpties(m *broker.Message) {
+	if len(m.Pub.Path) == 0 {
+		m.Pub.Path = nil
+	}
+	if len(m.Pub.Attrs) == 0 {
+		m.Pub.Attrs = nil
+	}
+	for i, am := range m.Pub.Attrs {
+		if len(am) == 0 {
+			m.Pub.Attrs[i] = nil
+		}
+	}
+	if len(m.Hops) == 0 {
+		m.Hops = nil
+	}
+	for i := range m.Hops {
+		if len(m.Hops[i].Stages) == 0 {
+			m.Hops[i].Stages = nil
+		}
+	}
+	if len(m.Raw) == 0 {
+		m.Raw = nil
+	}
+}
+
+// TestDifferentialCodecRoundTrip round-trips every frame type through both
+// codecs and requires the decoded values to be deeply equal — the property
+// that lets a deployment mix binary and gob links without the routing state
+// diverging by codec.
+func TestDifferentialCodecRoundTrip(t *testing.T) {
+	for i, m := range diffMessages(t) {
+		var gb bytes.Buffer
+		if err := gob.NewEncoder(&gb).Encode(m); err != nil {
+			t.Fatalf("msg %d: gob encode: %v", i, err)
+		}
+		var viaGob broker.Message
+		if err := gob.NewDecoder(&gb).Decode(&viaGob); err != nil {
+			t.Fatalf("msg %d: gob decode: %v", i, err)
+		}
+
+		var bb bytes.Buffer
+		if err := wirefmt.NewEncoder(&bb, wirefmt.DefaultLimits).Encode(m); err != nil {
+			t.Fatalf("msg %d: binary encode: %v", i, err)
+		}
+		var viaBin broker.Message
+		if err := wirefmt.NewDecoder(&bb, wirefmt.DefaultLimits).Decode(&viaBin); err != nil {
+			t.Fatalf("msg %d: binary decode: %v", i, err)
+		}
+
+		normalizeEmpties(&viaGob)
+		normalizeEmpties(&viaBin)
+		if !reflect.DeepEqual(&viaGob, &viaBin) {
+			t.Errorf("msg %d (type %d): codecs disagree\ngob:    %+v\nbinary: %+v",
+				i, m.Type, viaGob, viaBin)
+		}
+	}
+}
+
+// linkCodec returns the negotiated codec of s's link to peer ("" while the
+// link is down).
+func linkCodec(s *Server, peer string) string {
+	for _, ls := range s.Links() {
+		if ls.Peer == peer && ls.Up {
+			return ls.Codec
+		}
+	}
+	return ""
+}
+
+// TestMixedVersionNegotiation drives the codec negotiation matrix over real
+// TCP pairs: binary is spoken only when both ends prefer it, a binary
+// speaker attaching to a gob listener negotiates down cleanly, and traffic
+// routes end to end either way.
+func TestMixedVersionNegotiation(t *testing.T) {
+	cases := []struct {
+		name   string
+		w1, w2 string
+		want   string
+	}{
+		{"binary-binary", WireBinary, WireBinary, WireBinary},
+		{"binary-to-gob", WireBinary, WireGob, WireGob},
+		{"gob-to-binary", WireGob, WireBinary, WireGob},
+		{"gob-gob", WireGob, WireGob, WireGob},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o1, o2 := fastHeal(), fastHeal()
+			o1.Wire, o2.Wire = tc.w1, tc.w2
+			s1, s2, _ := startPair(t, broker.Config{}, o1, o2)
+
+			// Control traffic both ways proves both directions decode.
+			s1.Broker().HandleMessage(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/a")}, "")
+			s2.Broker().HandleMessage(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/b")}, "")
+			waitFor(t, func() bool { return s1.PRTSize() == 2 && s2.PRTSize() == 2 })
+
+			waitFor(t, func() bool {
+				return linkCodec(s1, "b2") == tc.want && linkCodec(s2, "b1") == tc.want
+			})
+			if h := s1.Health().BadFrames + s2.Health().BadFrames; h != 0 {
+				t.Errorf("negotiation produced %d bad frames", h)
+			}
+		})
+	}
+}
+
+// TestRawPassthroughByteIdentical pins the Raw forwarding contract across
+// the binary wire: the bytes a publisher hands in are the bytes every hop
+// forwards and the subscriber receives — no copy may mutate, trim, or
+// re-serialize them. The body is large enough to take the encoder's
+// external-segment (writev by reference) path.
+func TestRawPassthroughByteIdentical(t *testing.T) {
+	servers := startChain(t, 3, broker.Config{})
+	sub, err := Dial(servers[2].ln.Addr().String(), "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := Dial(servers[0].ln.Addr().String(), "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	if err := sub.Send(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("//leaf")}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return servers[0].PRTSize() == 1 })
+
+	var body bytes.Buffer
+	body.WriteString("<root attr=\"v\">")
+	for i := 0; i < 400; i++ {
+		body.WriteString("<leaf>payload text that pushes the body over the external-segment threshold</leaf>")
+	}
+	body.WriteString("</root>")
+	raw := body.Bytes()
+	if len(raw) <= 4096 {
+		t.Fatalf("test body too small (%d bytes) to exercise the ext path", len(raw))
+	}
+
+	if err := pub.Send(&broker.Message{Type: broker.MsgPublish, Raw: raw}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sub.WaitDelivery(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Raw, raw) {
+		t.Errorf("raw body mutated in transit: sent %d bytes, received %d", len(raw), len(m.Raw))
+	}
+	if pub.Codec() != WireBinary || sub.Codec() != WireBinary {
+		t.Errorf("clients negotiated %q/%q, want binary", pub.Codec(), sub.Codec())
+	}
+}
+
+// TestHostileBinaryFramesCloseConnection sends a valid binary handshake
+// followed by garbage and requires the server to tear down exactly that
+// connection: the frame is counted as bad, the socket is closed from the
+// server side, and no reader or writer goroutine is left behind.
+func TestHostileBinaryFramesCloseConnection(t *testing.T) {
+	cfg := broker.Config{}
+	cfg.ID = "b1"
+	s := NewServerOptions(cfg, nil, Options{})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		if err := gob.NewEncoder(conn).Encode(hello{ID: "evil", Wire: WireBinary}); err != nil {
+			t.Fatal(err)
+		}
+		// A plausible-looking frame: sane length prefix, message kind,
+		// publish type, then junk the cursor helpers must reject.
+		conn.Write([]byte{0x09, 0x02, byte(broker.MsgPublish), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+		// The server must close on us; reading drains the hello reply and
+		// then sees EOF.
+		buf := make([]byte, 512)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				break
+			}
+		}
+		conn.Close()
+	}
+
+	waitFor(t, func() bool { return s.Health().BadFrames >= 20 })
+	// Goroutine count settles back to the pre-connection baseline (the
+	// accept loop and broker workers persist; per-connection reader/writer
+	// pairs must not).
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before+2 })
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/wirefmt"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
@@ -69,6 +70,80 @@ func FuzzFrameDecode(f *testing.F) {
 		// Closing hands the server an EOF after our bytes; it processes every
 		// complete frame first. A server-side panic aborts this whole process
 		// and fails the run — that is the assertion.
+		conn.Close()
+	})
+}
+
+// FuzzBinaryFrameDecode is FuzzFrameDecode for the binary wire: a valid
+// handshake negotiating the binary codec, then arbitrary bytes where frames
+// belong. Truncated batches, hostile varint lengths, unknown dictionary ids,
+// and corrupt frames must at worst cost the connection — process survival is
+// the invariant, exactly as for the gob target. The wirefmt package fuzzes
+// its decoder in isolation; this target proves the transport around it
+// (readLoop, bad-frame accounting, connection teardown) holds up too.
+func FuzzBinaryFrameDecode(f *testing.F) {
+	// Seed corpus: a valid binary session, then damaged variants. Frames are
+	// built with the real encoder so the corpus starts structurally deep
+	// (dictionary frames, symbol references, nested documents).
+	valid := func(msgs ...*broker.Message) []byte {
+		var buf bytes.Buffer
+		enc := wirefmt.NewEncoder(&buf, wirefmt.DefaultLimits)
+		for _, m := range msgs {
+			if err := enc.Encode(m); err != nil {
+				f.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	doc, err := xmldoc.Parse([]byte(`<stock><quote s="ACME"><price>42</price></quote></stock>`))
+	if err != nil {
+		f.Fatal(err)
+	}
+	session := valid(
+		&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/a/b")},
+		&broker.Message{Type: broker.MsgPublish, Pub: xmldoc.Publication{DocID: 1, Path: []string{"a", "b"}}},
+		&broker.Message{Type: broker.MsgPublish, Pub: xmldoc.Publication{DocID: 2}, Doc: doc},
+	)
+	f.Add(session)
+	f.Add(session[:len(session)/2]) // truncated mid-batch
+	corrupt := bytes.Clone(session)
+	for i := range corrupt {
+		if i%5 == 0 {
+			corrupt[i] ^= 0x40
+		}
+	}
+	f.Add(corrupt)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x0f}) // hostile varint length
+	f.Add([]byte{0x03, 0x01, 0x63, 0x00})             // dict frame with a gap
+	f.Add([]byte{0x02, 0x02, 0x07})                   // message referencing an unknown id
+	f.Add([]byte{})
+
+	cfg := broker.Config{}
+	cfg.ID = "b1"
+	s := NewServerOptions(cfg, nil, Options{})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(s.Close)
+
+	// The handshake prefix every fuzz connection sends before its payload:
+	// the gob hello offering binary. Constant across iterations, so it is
+	// encoded once.
+	var hs bytes.Buffer
+	if err := gob.NewEncoder(&hs).Encode(hello{ID: "fuzz", Wire: WireBinary}); err != nil {
+		f.Fatal(err)
+	}
+	helloBytes := hs.Bytes()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			t.Skip("dial failed; nothing to exercise")
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		conn.Write(helloBytes)
+		conn.Write(data)
 		conn.Close()
 	})
 }

@@ -54,6 +54,26 @@ type Options struct {
 
 	// DialTimeout bounds each TCP dial (default 2s).
 	DialTimeout time.Duration
+
+	// Wire selects the frame codec: WireBinary (the default) offers the
+	// varint binary format of package wirefmt on every outbound connection
+	// and accepts it inbound; WireGob forces the legacy gob framing in both
+	// directions (rollout fallback, ablation baseline). A binary broker and
+	// a gob broker interoperate: the pair negotiates down to gob.
+	Wire string
+
+	// FlushInterval makes the send-batching writer linger this long after
+	// the first staged frame, growing the batch before the vectored write.
+	// 0 (the default) flushes as soon as the queue is momentarily empty —
+	// batching under load, zero added latency when idle. Values beyond a
+	// few ms trade delivery latency for syscall amortisation.
+	FlushInterval time.Duration
+
+	// MaxBatchBytes flushes a batch once this many bytes are staged
+	// (default 256KiB); MaxBatchFrames once this many frames are
+	// (default 128).
+	MaxBatchBytes  int
+	MaxBatchFrames int
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +91,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 2 * time.Second
+	}
+	if o.Wire == "" {
+		o.Wire = WireBinary
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 256 << 10
+	}
+	if o.MaxBatchFrames <= 0 {
+		o.MaxBatchFrames = 128
 	}
 	return o
 }
@@ -149,6 +178,15 @@ type LinkStatus struct {
 	// LastRecvUnixNano is the wall-clock time of the last inbound frame
 	// (heartbeats included); 0 before first contact.
 	LastRecvUnixNano int64 `json:"last_recv_unix_nano,omitempty"`
+	// Codec is the wire format the live connection negotiated ("binary" or
+	// "gob"; empty when down).
+	Codec string `json:"codec,omitempty"`
+	// TxBytes counts bytes written to the live connection since it
+	// attached (post-handshake frames only; resets on reconnect).
+	TxBytes int64 `json:"tx_bytes,omitempty"`
+	// BatchP50 is the connection's median frames-per-flush — 1.0 means
+	// batching is doing nothing, larger means syscalls are being amortised.
+	BatchP50 float64 `json:"batch_p50,omitempty"`
 }
 
 // Links snapshots the health of every configured neighbour link, sorted by
@@ -167,6 +205,9 @@ func (s *Server) Links() []LinkStatus {
 		st := LinkStatus{Peer: l.id, Up: l.pc != nil, Buffered: len(l.buf)}
 		if l.pc != nil {
 			st.QueueDepth = len(l.pc.queue)
+			st.Codec = l.pc.fw.Codec()
+			st.TxBytes = l.pc.fw.TxBytes()
+			st.BatchP50 = l.pc.batchP50()
 		}
 		l.mu.Unlock()
 		st.LastRecvUnixNano = l.lastRecv.Load()
@@ -424,5 +465,20 @@ func (s *Server) registerHealthMetrics() {
 	for _, c := range counters {
 		v := c.v
 		s.reg.CounterFunc(c.name, c.help, func() float64 { return float64(v.Load()) })
+	}
+	for codec, agg := range map[string]*wireAgg{
+		WireBinary: &s.wireTx[0],
+		WireGob:    &s.wireTx[1],
+	} {
+		a := agg
+		s.reg.CounterFunc("xbroker_wire_tx_bytes_total",
+			"Bytes written to peers, by wire codec (handshakes excluded).",
+			func() float64 { return float64(a.bytes.Load()) }, "codec", codec)
+		s.reg.CounterFunc("xbroker_wire_tx_frames_total",
+			"Message frames written to peers, by wire codec.",
+			func() float64 { return float64(a.frames.Load()) }, "codec", codec)
+		s.reg.CounterFunc("xbroker_wire_tx_batches_total",
+			"Vectored flushes toward peers, by wire codec; frames/batches is the mean batch size.",
+			func() float64 { return float64(a.batches.Load()) }, "codec", codec)
 	}
 }

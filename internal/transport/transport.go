@@ -1,7 +1,10 @@
 // Package transport deploys brokers over real TCP connections — the mode the
-// paper ran on its cluster and on PlanetLab. Peers exchange gob-encoded
-// frames over persistent connections; each connection begins with a hello
-// frame identifying the peer, after which either side streams messages.
+// paper ran on its cluster and on PlanetLab. Each connection begins with a
+// gob-encoded hello frame identifying the peer and offering a wire codec;
+// after the handshake both sides stream messages in the negotiated codec —
+// the binary varint format of package wirefmt by default (with per-link
+// symbol dictionaries and batched vectored writes), or gob for rollout and
+// ablation (Options.Wire / -wire=gob).
 //
 // The discrete-event simulator (package sim) is the tool for controlled
 // experiments; this package is the deployable counterpart with identical
@@ -24,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"math/bits"
 	"net"
 	"runtime"
 	"sync"
@@ -35,9 +40,20 @@ import (
 	"repro/internal/trace"
 )
 
-// hello is the first frame on every connection.
+// wireAgg accumulates one codec's transmit totals across every connection
+// that spoke it (connections come and go; these never reset).
+type wireAgg struct {
+	bytes, frames, batches atomic.Int64
+}
+
+// hello is the first frame on every connection, always gob-encoded (the
+// pre-negotiation codec both ends share). Wire carries the dialler's offered
+// codec; a non-empty offer obliges the acceptor to reply with its own hello
+// naming the codec chosen for BOTH directions. An empty Wire is the legacy
+// handshake: no reply, gob framing.
 type hello struct {
-	ID string
+	ID   string
+	Wire string
 }
 
 // sendQueueDepth bounds each peer's outbound queue. A full queue blocks the
@@ -53,46 +69,166 @@ type queuedMsg struct {
 	enq time.Time
 }
 
+// batchConfig is the resolved batching policy a peerConn writer runs with.
+type batchConfig struct {
+	interval  time.Duration // linger after the first staged frame; 0 = none
+	maxBytes  int           // flush once this many bytes are staged
+	maxFrames int           // flush once this many frames are staged
+}
+
 // peerConn is one live connection with its ordered send queue. All writes
 // funnel through the queue and are encoded by a single writer goroutine, so
 // messages reach the peer in enqueue order without a per-write lock. The
 // queue channel itself is never closed (many goroutines may be sending);
 // the writer is stopped via the stop channel and announces its exit on done.
+//
+// The writer batches: it stages the message it woke up for, opportunistically
+// drains whatever else is already queued (up to maxFrames/maxBytes, lingering
+// up to interval when configured), then flushes the whole batch in one
+// vectored write. Under load batches grow toward the caps and the per-message
+// syscall cost vanishes; an idle link flushes every message immediately, so
+// batching adds no latency unless a linger interval explicitly asks for it.
 type peerConn struct {
 	conn  net.Conn
+	fw    frameWriter
 	queue chan queuedMsg
 	flush *metrics.Histogram // flush-stage histogram; nil disables timing
-	stop  chan struct{}      // signalled by shutdown
-	done  chan struct{}      // closed when the writer exits
+	batch batchConfig
+	agg   *wireAgg      // server-wide per-codec tx aggregates; nil in tests
+	stop  chan struct{} // signalled by shutdown
+	done  chan struct{} // closed when the writer exits
 	once  sync.Once
+
+	// batchCounts is a log2 histogram of frames-per-flush (bucket i covers
+	// (2^(i-1), 2^i]); batches is its total. Read by LinkStatus.
+	batchCounts [9]atomic.Int64
+	batches     atomic.Int64
 }
 
-func newPeerConn(conn net.Conn, enc *gob.Encoder, flush *metrics.Histogram) *peerConn {
+func newPeerConn(conn net.Conn, fw frameWriter, flush *metrics.Histogram, batch batchConfig, agg *wireAgg) *peerConn {
 	p := &peerConn{
 		conn:  conn,
+		fw:    fw,
 		queue: make(chan queuedMsg, sendQueueDepth),
 		flush: flush,
+		batch: batch,
+		agg:   agg,
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
-	go func() {
-		defer close(p.done)
-		for {
-			select {
-			case <-p.stop:
-				return
-			case qm := <-p.queue:
-				if err := enc.Encode(qm.m); err != nil {
-					p.conn.Close() // unblocks the connection's read loop
+	go p.runWriter()
+	return p
+}
+
+// runWriter is the connection's single writer goroutine: stage, drain, flush.
+func (p *peerConn) runWriter() {
+	defer close(p.done)
+	enqs := make([]time.Time, 0, 16)
+	var timer *time.Timer
+	var lastBytes int64
+	for {
+		var qm queuedMsg
+		select {
+		case <-p.stop:
+			return
+		case qm = <-p.queue:
+		}
+		enqs = enqs[:0]
+		if err := p.fw.Queue(qm.m); err != nil {
+			p.conn.Close() // unblocks the connection's read loop
+			return
+		}
+		if !qm.enq.IsZero() {
+			enqs = append(enqs, qm.enq)
+		}
+		frames := 1
+		var timerC <-chan time.Time
+		if p.batch.interval > 0 {
+			if timer == nil {
+				timer = time.NewTimer(p.batch.interval)
+			} else {
+				timer.Reset(p.batch.interval)
+			}
+			timerC = timer.C
+		}
+	fill:
+		for frames < p.batch.maxFrames && p.fw.Pending() < p.batch.maxBytes {
+			if timerC == nil {
+				select {
+				case <-p.stop:
 					return
+				case qm = <-p.queue:
+				default:
+					break fill
 				}
-				if p.flush != nil && !qm.enq.IsZero() {
-					p.flush.Observe(time.Since(qm.enq).Seconds())
+			} else {
+				select {
+				case <-p.stop:
+					return
+				case qm = <-p.queue:
+				case <-timerC:
+					timerC = nil
+					break fill
 				}
 			}
+			if err := p.fw.Queue(qm.m); err != nil {
+				p.conn.Close()
+				return
+			}
+			if !qm.enq.IsZero() {
+				enqs = append(enqs, qm.enq)
+			}
+			frames++
 		}
-	}()
-	return p
+		if timerC != nil && !timer.Stop() {
+			<-timer.C
+		}
+		if err := p.fw.Flush(); err != nil {
+			p.conn.Close()
+			return
+		}
+		p.recordBatch(frames)
+		if p.agg != nil {
+			b := p.fw.TxBytes()
+			p.agg.bytes.Add(b - lastBytes)
+			lastBytes = b
+			p.agg.frames.Add(int64(frames))
+			p.agg.batches.Add(1)
+		}
+		if p.flush != nil && len(enqs) > 0 {
+			now := time.Now()
+			for _, e := range enqs {
+				p.flush.Observe(now.Sub(e).Seconds())
+			}
+		}
+	}
+}
+
+// recordBatch files one flush's frame count into the log2 histogram.
+func (p *peerConn) recordBatch(frames int) {
+	i := bits.Len(uint(frames - 1)) // 1→0, 2→1, 3..4→2, ...
+	if i >= len(p.batchCounts) {
+		i = len(p.batchCounts) - 1
+	}
+	p.batchCounts[i].Add(1)
+	p.batches.Add(1)
+}
+
+// batchP50 returns the median frames-per-flush (bucket upper bound), or 0
+// before the first flush.
+func (p *peerConn) batchP50() float64 {
+	total := p.batches.Load()
+	if total == 0 {
+		return 0
+	}
+	half := (total + 1) / 2
+	var cum int64
+	for i := range p.batchCounts {
+		if cum += p.batchCounts[i].Load(); cum >= half {
+			return float64(uint(1) << i)
+		}
+	}
+	return float64(uint(1) << (len(p.batchCounts) - 1))
 }
 
 // write enqueues a message for the peer. It reports an error when the
@@ -164,9 +300,23 @@ type Server struct {
 	// a registry.
 	stageDecode, stageFlush *metrics.Histogram
 
+	// batchCfg is the resolved send-batching policy, shared by every
+	// peerConn writer; wireTx aggregates transmit totals per codec
+	// (index 0 binary, 1 gob) for the xbroker_wire_* metrics.
+	batchCfg batchConfig
+	wireTx   [2]wireAgg
+
 	closed  chan struct{}
 	closeMu sync.Once
 	wg      sync.WaitGroup
+}
+
+// wireAggFor returns the server-wide transmit aggregate for a codec.
+func (s *Server) wireAggFor(codec string) *wireAgg {
+	if codec == WireBinary {
+		return &s.wireTx[0]
+	}
+	return &s.wireTx[1]
 }
 
 // NewServer creates a broker server. neighbors maps neighbouring broker IDs
@@ -196,6 +346,11 @@ func NewServerOptions(cfg broker.Config, neighbors map[string]string, opts Optio
 		closed:    make(chan struct{}),
 		pubQueues: make([]chan pubTask, workers),
 		links:     make(map[string]*link, len(neighbors)),
+		batchCfg: batchConfig{
+			interval:  opts.FlushInterval,
+			maxBytes:  opts.MaxBatchBytes,
+			maxFrames: opts.MaxBatchFrames,
+		},
 	}
 	// The broker's flight recorder snapshots per-peer send-queue depths at
 	// capture time; install the callback before the broker copies its config.
@@ -332,42 +487,64 @@ func (s *Server) acceptLoop() {
 }
 
 // serveConn handles one inbound connection: the peer identifies itself with
-// a hello frame. Neighbour connections attach to the neighbour's link (with
-// a control-state resync); client connections go straight to the peers map.
+// a hello frame, a codec is negotiated (see hello), and frames stream in it.
+// Neighbour connections attach to the neighbour's link (with a control-state
+// resync); client connections go straight to the peers map.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
-	dec, tr := s.newFrameDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	cr := newConnReader(conn, s.timedReads())
+	hdec := gob.NewDecoder(cr.br)
 	var h hello
-	if err := dec.Decode(&h); err != nil {
+	if err := hdec.Decode(&h); err != nil {
 		return
 	}
+	codec := chooseWire(h.Wire, s.opts.Wire)
+	cw := &countWriter{w: conn}
+	henc := gob.NewEncoder(cw)
+	if h.Wire != "" {
+		// The reply is written synchronously, before the peerConn writer
+		// exists, so it is guaranteed first on the wire from this side.
+		if err := henc.Encode(hello{ID: s.cfg.ID, Wire: codec}); err != nil {
+			return
+		}
+	}
 	id := h.ID
-	pc := newPeerConn(conn, enc, s.stageFlush)
+	pc := s.newPeerConn(conn, codec, henc, cw)
+	fr := cr.reader(codec, hdec)
 	if l := s.linkFor(id); l != nil {
 		l.attach(pc)
 		l.resyncAfterAttach()
-		s.readLoop(dec, tr, id, l)
+		s.readLoop(fr, cr.tr, id, l)
 		l.connLost(pc)
 		return
 	}
 	s.addPeer(id, pc)
 	defer s.dropPeer(id, pc)
 	s.b.AddClient(id)
-	s.readLoop(dec, tr, id, nil)
+	s.readLoop(fr, cr.tr, id, nil)
 }
 
-// newFrameDecoder builds the connection's frame decoder, wrapping the
-// connection for decode-stage timing when the server is instrumented (a
-// metrics registry or a flight recorder is attached); tr is nil — and frames
-// untimed — otherwise, so uninstrumented servers read exactly as before.
-func (s *Server) newFrameDecoder(conn net.Conn) (*gob.Decoder, *timedReader) {
-	if s.stageDecode == nil && s.cfg.SlowLog == nil {
-		return gob.NewDecoder(conn), nil
+// timedReads reports whether connections should be wrapped for decode-stage
+// timing (a metrics registry or a flight recorder is attached);
+// uninstrumented servers read exactly as before.
+func (s *Server) timedReads() bool {
+	return s.stageDecode != nil || s.cfg.SlowLog != nil
+}
+
+// newPeerConn builds the connection's send side: the negotiated codec's
+// frameWriter behind the batching writer goroutine.
+func (s *Server) newPeerConn(conn net.Conn, codec string, henc *gob.Encoder, cw *countWriter) *peerConn {
+	var fw frameWriter
+	if codec == WireBinary {
+		// The binary encoder writes the connection directly: a wrapper would
+		// hide the net.Conn and downgrade net.Buffers to one syscall per
+		// segment, which is the cost batching exists to avoid.
+		fw = newBinWriter(conn)
+	} else {
+		fw = newGobWriter(henc, cw)
 	}
-	tr := &timedReader{conn: conn}
-	return gob.NewDecoder(tr), tr
+	return newPeerConn(conn, fw, s.stageFlush, s.batchCfg, s.wireAggFor(codec))
 }
 
 // timedReader wraps a connection so the read loop can time the decode stage
@@ -433,7 +610,7 @@ func (s *Server) addPeer(id string, pc *peerConn) {
 // Heartbeat frames refresh the link's liveness clock and stop here — they
 // never reach the broker. A frame that decodes into something the broker
 // chokes on must cost this connection, not the process, hence the recover.
-func (s *Server) readLoop(dec *gob.Decoder, tr *timedReader, id string, l *link) {
+func (s *Server) readLoop(fr frameReader, tr *timedReader, id string, l *link) {
 	defer func() { recover() }()
 	for {
 		var m broker.Message
@@ -441,7 +618,15 @@ func (s *Server) readLoop(dec *gob.Decoder, tr *timedReader, id string, l *link)
 		if tr != nil {
 			decodeStart = time.Now()
 		}
-		if err := dec.Decode(&m); err != nil {
+		if err := fr.Decode(&m); err != nil {
+			// A protocol violation (hostile varint, unknown dictionary id,
+			// corrupt gob stream) is a bad frame; the connection merely
+			// dropping is not.
+			var ne net.Error
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+				!errors.Is(err, net.ErrClosed) && !errors.As(err, &ne) {
+				s.stats.badFrames.Add(1)
+			}
 			return
 		}
 		var arrived time.Time
@@ -549,12 +734,43 @@ func (s *Server) dialNeighbor(l *link) error {
 	if s.opts.ConnWrap != nil {
 		conn = s.opts.ConnWrap(conn)
 	}
-	enc := gob.NewEncoder(conn)
-	if err := enc.Encode(hello{ID: s.cfg.ID}); err != nil {
+	cr := newConnReader(conn, s.timedReads())
+	cw := &countWriter{w: conn}
+	henc := gob.NewEncoder(cw)
+	offer := ""
+	if s.opts.Wire == WireBinary {
+		offer = WireBinary
+	}
+	if err := henc.Encode(hello{ID: s.cfg.ID, Wire: offer}); err != nil {
 		conn.Close()
 		return fmt.Errorf("transport: hello to %s: %w", l.id, err)
 	}
-	pc := newPeerConn(conn, enc, s.stageFlush)
+	hdec := gob.NewDecoder(cr.br)
+	codec := WireGob
+	if offer != "" {
+		// An offer obliges a codec-aware acceptor to reply before anything
+		// else. A peer that stays silent past the deadline predates the
+		// negotiation (legacy peers never reply), so the dialer falls back
+		// to gob — the codec every version speaks — and lets the heartbeat
+		// machinery judge the connection from there. Any other failure is a
+		// real protocol error and costs the dial attempt.
+		conn.SetReadDeadline(time.Now().Add(s.opts.DialTimeout))
+		var reply hello
+		if err := hdec.Decode(&reply); err != nil {
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Timeout() {
+				conn.Close()
+				return fmt.Errorf("transport: hello reply from %s: %w", l.id, err)
+			}
+		} else if reply.Wire != WireBinary && reply.Wire != WireGob {
+			conn.Close()
+			return fmt.Errorf("transport: %s negotiated unknown codec %q", l.id, reply.Wire)
+		} else {
+			codec = reply.Wire
+		}
+		conn.SetReadDeadline(time.Time{})
+	}
+	pc := s.newPeerConn(conn, codec, henc, cw)
 	l.attach(pc)
 	l.resyncAfterAttach()
 	// The dialled neighbour speaks back on the same connection.
@@ -562,8 +778,7 @@ func (s *Server) dialNeighbor(l *link) error {
 	go func() {
 		defer s.wg.Done()
 		defer conn.Close()
-		dec, tr := s.newFrameDecoder(conn)
-		s.readLoop(dec, tr, l.id, l)
+		s.readLoop(cr.reader(codec, hdec), cr.tr, l.id, l)
 		l.connLost(pc)
 	}()
 	return nil
@@ -583,6 +798,10 @@ type ClientOptions struct {
 	// DialBudget caps consecutive failed redials per outage; once spent
 	// the client gives up and closes Deliveries. 0 means unlimited.
 	DialBudget int
+	// Wire selects the codec the client offers: WireBinary (the default)
+	// or WireGob. The broker may still negotiate a binary offer down to
+	// gob; WireGob skips the offer entirely (legacy handshake).
+	Wire string
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -591,6 +810,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.ReconnectMax <= 0 {
 		o.ReconnectMax = 2 * time.Second
+	}
+	if o.Wire == "" {
+		o.Wire = WireBinary
 	}
 	return o
 }
@@ -604,7 +826,7 @@ type Client struct {
 
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
+	fw   frameWriter
 	// record holds the client's live control state (subscriptions and
 	// advertisements, withdrawals removed) — what a reconnect replays so
 	// the restarted or recovered edge broker serves the client again.
@@ -631,94 +853,143 @@ func Dial(addr, id string) (*Client, error) {
 
 // DialOptions is Dial with explicit reconnect options.
 func DialOptions(addr, id string, opts ClientOptions) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	opts = opts.withDefaults()
+	conn, fw, fr, err := clientHandshake(addr, id, opts)
 	if err != nil {
-		return nil, fmt.Errorf("transport: client dial %s: %w", addr, err)
+		return nil, err
 	}
 	c := &Client{
 		ID:         id,
 		addr:       addr,
-		opts:       opts.withDefaults(),
+		opts:       opts,
 		conn:       conn,
-		enc:        gob.NewEncoder(conn),
+		fw:         fw,
 		Deliveries: make(chan *broker.Message, 1024),
 		closed:     make(chan struct{}),
 	}
-	if err := c.enc.Encode(hello{ID: id}); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("transport: client hello: %w", err)
-	}
-	go c.readLoop(conn)
+	go c.readLoop(conn, fr)
 	return c, nil
 }
 
-func (c *Client) readLoop(conn net.Conn) {
+// clientHandshake dials the edge broker and negotiates the wire codec,
+// returning the connection with its frame writer and reader.
+func clientHandshake(addr, id string, opts ClientOptions) (net.Conn, frameWriter, frameReader, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("transport: client dial %s: %w", addr, err)
+	}
+	cr := newConnReader(conn, false)
+	cw := &countWriter{w: conn}
+	henc := gob.NewEncoder(cw)
+	offer := ""
+	if opts.Wire == WireBinary {
+		offer = WireBinary
+	}
+	if err := henc.Encode(hello{ID: id, Wire: offer}); err != nil {
+		conn.Close()
+		return nil, nil, nil, fmt.Errorf("transport: client hello: %w", err)
+	}
+	hdec := gob.NewDecoder(cr.br)
+	codec := WireGob
+	if offer != "" {
+		// Same legacy fallback as dialNeighbor: a broker silent past the
+		// deadline predates negotiation, so continue in gob.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		var reply hello
+		if err := hdec.Decode(&reply); err != nil {
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Timeout() {
+				conn.Close()
+				return nil, nil, nil, fmt.Errorf("transport: client hello reply: %w", err)
+			}
+		} else if reply.Wire != WireBinary && reply.Wire != WireGob {
+			conn.Close()
+			return nil, nil, nil, fmt.Errorf("transport: broker negotiated unknown codec %q", reply.Wire)
+		} else {
+			codec = reply.Wire
+		}
+		conn.SetReadDeadline(time.Time{})
+	}
+	var fw frameWriter
+	if codec == WireBinary {
+		fw = newBinWriter(conn)
+	} else {
+		fw = newGobWriter(henc, cw)
+	}
+	return conn, fw, cr.reader(codec, hdec), nil
+}
+
+// Codec reports the wire codec the current connection negotiated.
+func (c *Client) Codec() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fw.Codec()
+}
+
+func (c *Client) readLoop(conn net.Conn, fr frameReader) {
 	for {
-		dec := gob.NewDecoder(conn)
 		for {
 			var m broker.Message
-			if err := dec.Decode(&m); err != nil {
+			if err := fr.Decode(&m); err != nil {
 				goto redial
 			}
 			c.Deliveries <- &m
 		}
 	redial:
 		conn.Close()
-		next := c.redial()
+		next, nfr := c.redial()
 		if next == nil {
 			close(c.Deliveries)
 			return
 		}
-		conn = next
+		conn, fr = next, nfr
 	}
 }
 
-// redial re-establishes the connection with exponential backoff, replaying
-// the recorded control state once connected. It returns nil when
-// reconnection is disabled, the client was closed, or the dial budget ran
-// out.
-func (c *Client) redial() net.Conn {
+// redial re-establishes the connection with exponential backoff — codec
+// negotiation included, so a broker restarted in a different wire mode is
+// still rejoined — replaying the recorded control state once connected. It
+// returns nils when reconnection is disabled, the client was closed, or the
+// dial budget ran out.
+func (c *Client) redial() (net.Conn, frameReader) {
 	if !c.opts.Reconnect {
-		return nil
+		return nil, nil
 	}
 	backoff := c.opts.ReconnectMin
 	attempts := 0
 	for {
 		select {
 		case <-c.closed:
-			return nil
+			return nil, nil
 		default:
 		}
-		conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+		conn, fw, fr, err := clientHandshake(c.addr, c.ID, c.opts)
 		if err == nil {
-			enc := gob.NewEncoder(conn)
-			if err := enc.Encode(hello{ID: c.ID}); err == nil {
-				// Swap and replay under the send lock so no Send interleaves
-				// with the replayed record on the fresh stream.
-				c.mu.Lock()
-				c.conn, c.enc = conn, enc
-				replayed := true
-				for _, m := range c.record {
-					if enc.Encode(m) != nil {
-						replayed = false
-						break
-					}
+			// Swap and replay under the send lock so no Send interleaves
+			// with the replayed record on the fresh stream.
+			c.mu.Lock()
+			c.conn, c.fw = conn, fw
+			replayed := true
+			for _, m := range c.record {
+				if writeFrame(fw, m) != nil {
+					replayed = false
+					break
 				}
-				c.mu.Unlock()
-				if replayed {
-					c.Reconnects.Add(1)
-					return conn
-				}
+			}
+			c.mu.Unlock()
+			if replayed {
+				c.Reconnects.Add(1)
+				return conn, fr
 			}
 			conn.Close()
 		}
 		attempts++
 		if b := c.opts.DialBudget; b > 0 && attempts >= b {
-			return nil
+			return nil, nil
 		}
 		select {
 		case <-c.closed:
-			return nil
+			return nil, nil
 		case <-time.After(backoff):
 		}
 		if backoff *= 2; backoff > c.opts.ReconnectMax {
@@ -766,7 +1037,7 @@ func (c *Client) Send(m *broker.Message) error {
 	if c.opts.Reconnect {
 		c.recordControl(m)
 	}
-	if err := c.enc.Encode(m); err != nil {
+	if err := writeFrame(c.fw, m); err != nil {
 		if c.opts.Reconnect && m.Type != broker.MsgPublish {
 			return nil
 		}

@@ -6,38 +6,43 @@ import (
 	"repro/internal/advert"
 	"repro/internal/broker"
 	"repro/internal/stream"
+	"repro/internal/wirefmt"
 	"repro/internal/xmldoc"
 	"repro/internal/xpath"
 )
 
-// Frames arrive gob-decoded from whoever dialled us. gob reconstructs any
-// value the field types allow, far outside what the parsers and constructors
+// Frames arrive decoded from whoever dialled us. gob reconstructs any value
+// the field types allow, far outside what the parsers and constructors
 // guarantee: subscription step lists that never saw Parse, advertisement
 // trees of arbitrary depth, publication paths of arbitrary length, resync
 // payloads of arbitrary size. The broker and matchers assume constructor
 // invariants, so every inbound frame is checked here first; a frame that
 // fails costs its connection (readLoop closes it) and is counted in
-// HealthStats.BadFrames. The bounds are far above anything the system
-// generates — they exist to cap hostile input, not to constrain use.
+// HealthStats.BadFrames. The binary codec (package wirefmt) enforces the
+// same bounds inside its decoder — before allocating, which gob cannot —
+// and checkWire runs on its frames too, for the invariants that live above
+// the codec (XPE validity, SymPath laundering). The bounds are aliased from
+// wirefmt so the two codecs can never drift. They are far above anything
+// the system generates — they exist to cap hostile input, not constrain use.
 const (
-	maxWireSteps     = 64      // location steps per subscription
-	maxWireName      = 256     // bytes per element name, attribute, or ID
-	maxWirePath      = 256     // elements per publication path
-	maxWireAdvItems  = 256     // advertisement items, groups included
-	maxWireAdvDepth  = 8       // advertisement group nesting
-	maxWireResync    = 1 << 16 // entries per resync list (a claim spans a whole SRT; one DTD is ~4k adverts)
-	maxWireDocElems  = 1 << 16 // elements per whole-document publication
-	maxWireDocDepth  = maxWirePath
-	maxWireHops      = 1024    // carried trace hops
-	maxWireRawDoc    = 1 << 20 // bytes per raw-XML publication body
-	maxWireHopStages = 16      // per-stage durations per carried hop
-	maxWireStageName = 32      // bytes per stage name (real names are ≤ 7)
+	maxWireSteps     = wirefmt.MaxSteps    // location steps per subscription
+	maxWireName      = wirefmt.MaxName     // bytes per element name, attribute, or ID
+	maxWirePath      = wirefmt.MaxPath     // elements per publication path
+	maxWireAdvItems  = wirefmt.MaxAdvItems // advertisement items, groups included
+	maxWireAdvDepth  = wirefmt.MaxAdvDepth // advertisement group nesting
+	maxWireResync    = wirefmt.MaxResync   // entries per resync list (a claim spans a whole SRT)
+	maxWireDocElems  = wirefmt.MaxDocElems // elements per whole-document publication
+	maxWireDocDepth  = wirefmt.MaxDocDepth
+	maxWireHops      = wirefmt.MaxHops      // carried trace hops
+	maxWireRawDoc    = wirefmt.MaxRawDoc    // bytes per raw-XML publication body
+	maxWireHopStages = wirefmt.MaxHopStages // per-stage durations per carried hop
+	maxWireStageName = wirefmt.MaxStageName // bytes per stage name (real names are ≤ 7)
 )
 
 // maxWireStageNanos caps a carried stage duration at one hour: durations are
 // measured monotonic timings, so a larger (or negative) value can only be a
 // forged frame, and admitting it would poison latency aggregation downstream.
-const maxWireStageNanos = int64(3600) * 1e9
+const maxWireStageNanos = wirefmt.MaxStageNanos
 
 // checkWire validates one inbound frame against the wire bounds and the
 // constructor invariants of its payload. It also normalises the frame:

@@ -1,0 +1,643 @@
+package wirefmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/advert"
+	"repro/internal/broker"
+	"repro/internal/trace"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// Decoder reads binary frames from one link. Not safe for concurrent use —
+// one connection has one read loop.
+//
+// Every declared length is validated against the Limits AND against the
+// bytes remaining in the frame before anything is allocated, so a hostile
+// peer cannot make the decoder allocate more than it actually sent. The
+// frame buffer itself grows only as bytes arrive off the wire (never to a
+// declared length the peer hasn't paid for) and is reused across frames, so
+// steady-state decode of dictionary-hit publications performs no
+// allocations beyond the message's own slices — and none at all when the
+// caller reuses the target message (see Decode).
+type Decoder struct {
+	r   *bufio.Reader
+	lim Limits
+
+	dict []string
+
+	buf []byte // reused frame buffer
+	pb  []byte // payload of the frame being parsed (slice of buf)
+	off int    // parse cursor into pb
+
+	elems int // element budget of the document being parsed
+}
+
+// NewDecoder builds a decoder for one connection with an empty symbol
+// dictionary. If r is not already a *bufio.Reader it is wrapped in one.
+func NewDecoder(r io.Reader, lim Limits) *Decoder {
+	return &Decoder{r: asBufio(r), lim: lim}
+}
+
+func asBufio(r io.Reader) *bufio.Reader {
+	if br, ok := r.(*bufio.Reader); ok {
+		return br
+	}
+	return bufio.NewReader(r)
+}
+
+// Reset swaps the byte source, keeping the dictionary and buffers — the
+// steady-state-reuse hook benchmarks and tests use. It is NOT a new link:
+// real reconnects build a fresh Decoder (fresh dictionary).
+func (d *Decoder) Reset(r io.Reader) {
+	if br, ok := r.(*bufio.Reader); ok {
+		d.r = br
+		return
+	}
+	d.r.Reset(r)
+}
+
+// DictLen returns the number of symbols received so far (observability).
+func (d *Decoder) DictLen() int { return len(d.dict) }
+
+// Decode reads frames until one complete message arrives (consuming any
+// dictionary-extension frames on the way) and fills m with it. m is
+// overwritten; its Path, Attrs, and Hops slice capacities are reused, so a
+// caller that retains the previous decode's message must pass a fresh m.
+func (d *Decoder) Decode(m *broker.Message) error {
+	for {
+		n, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return err
+		}
+		if n == 0 || n > uint64(d.lim.MaxFrame) {
+			return fmt.Errorf("wirefmt: frame length %d outside (0, %d]", n, d.lim.MaxFrame)
+		}
+		if err := d.readFrame(int(n)); err != nil {
+			return err
+		}
+		kind, err := d.b()
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case frameDict:
+			if err := d.dictExt(); err != nil {
+				return err
+			}
+		case frameMsg:
+			if err := d.message(m); err != nil {
+				return err
+			}
+			if d.off != len(d.pb) {
+				return fmt.Errorf("wirefmt: %d trailing bytes in frame", len(d.pb)-d.off)
+			}
+			return nil
+		default:
+			return fmt.Errorf("wirefmt: unknown frame kind %#x", kind)
+		}
+	}
+}
+
+// readFrame fills d.pb with n payload bytes. The buffer grows in bounded
+// chunks as bytes actually arrive, so a huge declared length costs the
+// sender the traffic before it costs this process the memory.
+func (d *Decoder) readFrame(n int) error {
+	const chunk = 64 << 10
+	buf := d.buf[:0]
+	for got := 0; got < n; {
+		step := n - got
+		if step > chunk {
+			step = chunk
+		}
+		if cap(buf) < got+step {
+			grown := make([]byte, got, growCap(cap(buf), got+step, n))
+			copy(grown, buf[:got])
+			buf = grown
+		}
+		buf = buf[:got+step]
+		if _, err := io.ReadFull(d.r, buf[got:]); err != nil {
+			d.buf = buf[:0]
+			return err
+		}
+		got += step
+	}
+	d.buf = buf[:0]
+	d.pb = buf[:n]
+	d.off = 0
+	return nil
+}
+
+// growCap doubles cap toward need without overshooting the frame's total.
+func growCap(cur, need, total int) int {
+	c := cur * 2
+	if c < need {
+		c = need
+	}
+	if c < 4096 {
+		c = 4096
+	}
+	if c > total {
+		c = total
+	}
+	if c < need {
+		c = need
+	}
+	return c
+}
+
+// --- payload cursor helpers ---
+
+func (d *Decoder) remaining() int { return len(d.pb) - d.off }
+
+func (d *Decoder) b() (byte, error) {
+	if d.off >= len(d.pb) {
+		return 0, errTruncated
+	}
+	c := d.pb[d.off]
+	d.off++
+	return c, nil
+}
+
+func (d *Decoder) u() (uint64, error) {
+	v, n := binary.Uvarint(d.pb[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wirefmt: bad varint")
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *Decoder) sv() (int64, error) {
+	v, err := d.u()
+	return unzigzag(v), err
+}
+
+// count reads a sequence length and validates it against max and against
+// the frame's remaining bytes at minBytes per element, BEFORE the caller
+// allocates anything proportional to it.
+func (d *Decoder) count(max, minBytes int, what string) (int, error) {
+	v, err := d.u()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if v > uint64(max) {
+		return 0, fmt.Errorf("wirefmt: %d %s exceeds %d", v, what, max)
+	}
+	if minBytes > 0 && n > d.remaining()/minBytes {
+		return 0, fmt.Errorf("wirefmt: %d %s in a %d-byte remainder", v, what, d.remaining())
+	}
+	return n, nil
+}
+
+func (d *Decoder) take(n int) ([]byte, error) {
+	if n > d.remaining() {
+		return nil, errTruncated
+	}
+	b := d.pb[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// str reads a length-prefixed string bounded by max (≤0 means bounded only
+// by the frame).
+func (d *Decoder) str(max int) (string, error) {
+	v, err := d.u()
+	if err != nil {
+		return "", err
+	}
+	if max > 0 && v > uint64(max) {
+		return "", fmt.Errorf("wirefmt: string of %d bytes exceeds %d", v, max)
+	}
+	b, err := d.take(int(v))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// sym resolves a dictionary reference. An id the sender never declared is a
+// protocol violation.
+func (d *Decoder) sym() (string, error) {
+	v, err := d.u()
+	if err != nil {
+		return "", err
+	}
+	if v >= uint64(len(d.dict)) {
+		return "", fmt.Errorf("wirefmt: unknown dictionary id %d (dictionary has %d)", v, len(d.dict))
+	}
+	return d.dict[v], nil
+}
+
+// dictExt applies one dictionary-extension frame. Ids are sequential by
+// construction; a gap or overlap means the streams disagree and the link is
+// torn down.
+func (d *Decoder) dictExt() error {
+	first, err := d.u()
+	if err != nil {
+		return err
+	}
+	if first != uint64(len(d.dict)) {
+		return fmt.Errorf("wirefmt: dictionary extension at id %d, expected %d", first, len(d.dict))
+	}
+	n, err := d.count(d.lim.MaxDict-len(d.dict), 1, "dictionary entries")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		s, err := d.str(d.lim.MaxName)
+		if err != nil {
+			return err
+		}
+		d.dict = append(d.dict, s)
+	}
+	if d.off != len(d.pb) {
+		return fmt.Errorf("wirefmt: %d trailing bytes in dictionary frame", len(d.pb)-d.off)
+	}
+	return nil
+}
+
+// --- message bodies ---
+
+func (d *Decoder) message(m *broker.Message) error {
+	// Recycle the big slice capacities, then zero everything else.
+	path := m.Pub.Path[:0]
+	attrs := m.Pub.Attrs[:0]
+	hops := m.Hops[:0]
+	*m = broker.Message{}
+	t, err := d.b()
+	if err != nil {
+		return err
+	}
+	m.Type = broker.MsgType(t)
+	switch m.Type {
+	case broker.MsgSubscribe, broker.MsgUnsubscribe:
+		m.XPE, err = d.xpe()
+		return err
+	case broker.MsgAdvertise:
+		if m.AdvID, err = d.advID(); err != nil {
+			return err
+		}
+		m.Adv, err = d.adv()
+		return err
+	case broker.MsgUnadvertise:
+		m.AdvID, err = d.advID()
+		return err
+	case broker.MsgPublish:
+		return d.publish(m, path, attrs, hops)
+	case broker.MsgResync:
+		m.Resync, err = d.resync()
+		return err
+	case broker.MsgHeartbeat:
+		return nil
+	default:
+		return fmt.Errorf("wirefmt: unknown message type %d", t)
+	}
+}
+
+// advID is a dictionary symbol with the gob path's non-empty invariant.
+func (d *Decoder) advID() (string, error) {
+	id, err := d.sym()
+	if err != nil {
+		return "", err
+	}
+	if id == "" {
+		return "", fmt.Errorf("wirefmt: empty advertisement id")
+	}
+	return id, nil
+}
+
+func (d *Decoder) xpe() (*xpath.XPE, error) {
+	flags, err := d.b()
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.count(d.lim.MaxSteps, 3, "steps")
+	if err != nil {
+		return nil, err
+	}
+	x := &xpath.XPE{Relative: flags&xpeFlagRelative != 0}
+	if n > 0 {
+		x.Steps = make([]xpath.Step, n)
+	}
+	for i := 0; i < n; i++ {
+		a, err := d.b()
+		if err != nil {
+			return nil, err
+		}
+		if a > byte(xpath.Descendant) {
+			return nil, fmt.Errorf("wirefmt: unknown axis %d", a)
+		}
+		name, err := d.sym()
+		if err != nil {
+			return nil, err
+		}
+		preds, err := d.str(0)
+		if err != nil {
+			return nil, err
+		}
+		x.Steps[i] = xpath.Step{Axis: xpath.Axis(a), Name: name, Preds: preds}
+	}
+	return x, nil
+}
+
+func (d *Decoder) adv() (*advert.Advertisement, error) {
+	d.elems = 0 // reused as the advertisement item budget
+	items, err := d.advItems(0)
+	if err != nil {
+		return nil, err
+	}
+	if d.elems == 0 {
+		return nil, fmt.Errorf("wirefmt: empty advertisement")
+	}
+	return &advert.Advertisement{Items: items}, nil
+}
+
+func (d *Decoder) advItems(depth int) ([]advert.Item, error) {
+	if depth > d.lim.MaxAdvDepth {
+		return nil, fmt.Errorf("wirefmt: advertisement groups nested deeper than %d", d.lim.MaxAdvDepth)
+	}
+	n, err := d.count(d.lim.MaxAdvItems-d.elems, 2, "advertisement items")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 && depth > 0 {
+		return nil, fmt.Errorf("wirefmt: empty advertisement group")
+	}
+	var items []advert.Item
+	if n > 0 {
+		items = make([]advert.Item, n)
+	}
+	for i := 0; i < n; i++ {
+		tag, err := d.b()
+		if err != nil {
+			return nil, err
+		}
+		d.elems++
+		switch tag {
+		case 0:
+			name, err := d.sym()
+			if err != nil {
+				return nil, err
+			}
+			items[i] = advert.Item{Name: name}
+		case 1:
+			group, err := d.advItems(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = advert.Item{Group: group}
+		default:
+			return nil, fmt.Errorf("wirefmt: unknown advertisement item tag %d", tag)
+		}
+	}
+	return items, nil
+}
+
+func (d *Decoder) publish(m *broker.Message, path []string, attrs []map[string]string, hops []trace.Hop) error {
+	flags, err := d.b()
+	if err != nil {
+		return err
+	}
+	if flags&pubFlagDoc != 0 && flags&pubFlagRaw != 0 {
+		return fmt.Errorf("wirefmt: publication carrying both raw and parsed document")
+	}
+	if m.Pub.DocID, err = d.u(); err != nil {
+		return err
+	}
+	pid, err := d.sv()
+	if err != nil {
+		return err
+	}
+	m.Pub.PathID = int(pid)
+	if m.Stamp, err = d.sv(); err != nil {
+		return err
+	}
+	n, err := d.count(d.lim.MaxPath, 1, "path elements")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		el, err := d.sym()
+		if err != nil {
+			return err
+		}
+		path = append(path, el)
+	}
+	if n > 0 {
+		m.Pub.Path = path
+	}
+	if flags&pubFlagAttrs != 0 {
+		na, err := d.count(d.lim.MaxPath, 1, "attribute maps")
+		if err != nil {
+			return err
+		}
+		// The recycled attrs slice may still hold last message's maps past
+		// its truncated length; positionally matching ones are cleared and
+		// refilled instead of reallocated, so a steady stream of
+		// identically-shaped publications decodes without touching the heap.
+		old := attrs[:cap(attrs)]
+		for i := 0; i < na; i++ {
+			v, err := d.count(d.remaining(), 2, "attribute pairs")
+			if err != nil {
+				return err
+			}
+			if v == 0 {
+				attrs = append(attrs, nil)
+				continue
+			}
+			var am map[string]string
+			if i < len(old) && old[i] != nil {
+				am = old[i]
+				clear(am)
+			} else {
+				am = make(map[string]string, v-1)
+			}
+			for j := 0; j < v-1; j++ {
+				k, err := d.sym()
+				if err != nil {
+					return err
+				}
+				val, err := d.str(0)
+				if err != nil {
+					return err
+				}
+				am[k] = val
+			}
+			attrs = append(attrs, am)
+		}
+		m.Pub.Attrs = attrs
+	}
+	if flags&pubFlagDoc != 0 {
+		d.elems = 0
+		root, err := d.elem(0)
+		if err != nil {
+			return err
+		}
+		m.Doc = &xmldoc.Document{Root: root}
+	}
+	if flags&pubFlagRaw != 0 {
+		nr, err := d.count(d.lim.MaxRawDoc, 1, "raw bytes")
+		if err != nil {
+			return err
+		}
+		if nr == 0 {
+			return fmt.Errorf("wirefmt: empty raw body")
+		}
+		b, err := d.take(nr)
+		if err != nil {
+			return err
+		}
+		// Copied out: the frame buffer is reused for the next frame while
+		// the broker still holds (and forwards) these bytes.
+		m.Raw = append([]byte(nil), b...)
+	}
+	if flags&pubFlagTrace != 0 {
+		if m.TraceID, err = d.str(d.lim.MaxName); err != nil {
+			return err
+		}
+		nh, err := d.count(d.lim.MaxHops, 3, "hops")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < nh; i++ {
+			h, err := d.hop()
+			if err != nil {
+				return err
+			}
+			hops = append(hops, h)
+		}
+		if nh > 0 {
+			m.Hops = hops
+		}
+	}
+	return nil
+}
+
+func (d *Decoder) hop() (trace.Hop, error) {
+	var h trace.Hop
+	var err error
+	if h.Broker, err = d.sym(); err != nil {
+		return h, err
+	}
+	if len(h.Broker) > d.lim.MaxName {
+		return h, fmt.Errorf("wirefmt: hop broker id of %d bytes exceeds %d", len(h.Broker), d.lim.MaxName)
+	}
+	if h.UnixNano, err = d.sv(); err != nil {
+		return h, err
+	}
+	if h.Epoch, err = d.u(); err != nil {
+		return h, err
+	}
+	ns, err := d.count(d.lim.MaxHopStages, 2, "hop stages")
+	if err != nil {
+		return h, err
+	}
+	if ns > 0 {
+		h.Stages = make([]trace.StageDur, ns)
+	}
+	for i := 0; i < ns; i++ {
+		stage, err := d.sym()
+		if err != nil {
+			return h, err
+		}
+		if len(stage) > d.lim.MaxStageName {
+			return h, fmt.Errorf("wirefmt: hop stage name of %d bytes exceeds %d", len(stage), d.lim.MaxStageName)
+		}
+		nanos, err := d.sv()
+		if err != nil {
+			return h, err
+		}
+		if nanos < 0 || nanos > d.lim.MaxStageNanos {
+			return h, fmt.Errorf("wirefmt: hop stage duration %dns outside [0, %dns]", nanos, d.lim.MaxStageNanos)
+		}
+		h.Stages[i] = trace.StageDur{Stage: stage, Nanos: nanos}
+	}
+	return h, nil
+}
+
+func (d *Decoder) elem(depth int) (*xmldoc.Elem, error) {
+	if depth >= d.lim.MaxDocDepth {
+		return nil, fmt.Errorf("wirefmt: document deeper than %d", d.lim.MaxDocDepth)
+	}
+	if d.elems++; d.elems > d.lim.MaxDocElems {
+		return nil, fmt.Errorf("wirefmt: document with more than %d elements", d.lim.MaxDocElems)
+	}
+	el := &xmldoc.Elem{}
+	var err error
+	if el.Name, err = d.sym(); err != nil {
+		return nil, err
+	}
+	na, err := d.count(d.remaining(), 2, "element attributes")
+	if err != nil {
+		return nil, err
+	}
+	if na > 0 {
+		el.Attrs = make([]xmldoc.Attr, na)
+	}
+	for i := 0; i < na; i++ {
+		name, err := d.sym()
+		if err != nil {
+			return nil, err
+		}
+		val, err := d.str(0)
+		if err != nil {
+			return nil, err
+		}
+		el.Attrs[i] = xmldoc.Attr{Name: name, Value: val}
+	}
+	if el.Text, err = d.str(0); err != nil {
+		return nil, err
+	}
+	nc, err := d.count(d.remaining(), 2, "child elements")
+	if err != nil {
+		return nil, err
+	}
+	if nc > 0 {
+		el.Children = make([]*xmldoc.Elem, nc)
+	}
+	for i := 0; i < nc; i++ {
+		c, err := d.elem(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		el.Children[i] = c
+	}
+	return el, nil
+}
+
+func (d *Decoder) resync() (*broker.ResyncState, error) {
+	r := &broker.ResyncState{}
+	na, err := d.count(d.lim.MaxResync, 2, "resync advertisements")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < na; i++ {
+		id, err := d.advID()
+		if err != nil {
+			return nil, err
+		}
+		a, err := d.adv()
+		if err != nil {
+			return nil, err
+		}
+		r.Advs = append(r.Advs, broker.ResyncAdv{ID: id, Adv: a})
+	}
+	ns, err := d.count(d.lim.MaxResync, 2, "resync subscriptions")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ns; i++ {
+		x, err := d.xpe()
+		if err != nil {
+			return nil, err
+		}
+		r.Subs = append(r.Subs, x)
+	}
+	return r, nil
+}

@@ -1,0 +1,38 @@
+package wirefmt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/broker"
+)
+
+// FuzzDecode throws arbitrary bytes at the decoder. The contract under
+// hostile input is: an error (or a clean decode, if the mutation happens to
+// stay valid), never a panic, and never an allocation larger than the input
+// actually pays for — the tight Limits make the fuzzer's over-declared
+// lengths cheap to detect.
+func FuzzDecode(f *testing.F) {
+	for _, m := range sampleMessages(f) {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf, DefaultLimits)
+		if err := enc.Encode(m); err != nil {
+			f.Fatalf("seed Encode: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(appendUvarint(nil, uint64(MaxFrame)))
+
+	lim := DefaultLimits
+	lim.MaxFrame = 1 << 16 // keep per-exec work bounded
+	lim.MaxRawDoc = 1 << 15
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data), lim)
+		var m broker.Message
+		for dec.Decode(&m) == nil {
+			m = broker.Message{}
+		}
+	})
+}

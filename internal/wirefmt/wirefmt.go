@@ -1,0 +1,142 @@
+// Package wirefmt is the hand-rolled binary wire codec of the data plane:
+// varint-framed records over per-link interned symbol ids, replacing gob on
+// broker and client links (DESIGN.md §5h). gob pays reflection on both ends
+// of every frame and re-transmits type structure per stream; this codec
+// writes each frame with append-only varint arithmetic into a reused batch
+// buffer and reads it back with bounds-validated slicing, so steady-state
+// publish encode and decode allocate nothing.
+//
+// Framing. The byte stream after the (gob) attach handshake is a sequence of
+// frames, each a uvarint byte length followed by that many payload bytes.
+// The first payload byte is the frame kind: dictionary extension or message.
+// A batch is simply several frames written in one vectored write
+// (net.Buffers); the decoder never needs to know where batches began.
+//
+// Symbol dictionary. Low-cardinality strings — element names, XPath step
+// names, advertisement ids, broker ids, stage names — are sent once per
+// link: the encoder assigns the next sequential id on first use and
+// declares it in a dictionary-extension frame that precedes (in the same
+// batch) the first message frame referencing it. The dictionary starts
+// empty at attach (both sides agree on that by the handshake) and only ever
+// grows, so ids are stable for the life of the connection. High-cardinality
+// values — attribute values, character data, trace ids, predicate strings,
+// raw document bytes — travel inline as length-prefixed bytes.
+//
+// Hostile input. The decoder validates every declared length against both
+// the configured Limits and the bytes actually remaining in the frame
+// before allocating, so a hostile peer cannot make the receiver allocate
+// more than it sends (the gob weakness that wire.go's post-decode checks
+// existed to contain). A frame that violates any bound is an error; the
+// transport closes the connection.
+package wirefmt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame kinds (first payload byte of every frame).
+const (
+	frameDict byte = 0x01 // dictionary extension: firstID, count, count strings
+	frameMsg  byte = 0x02 // one broker message
+)
+
+// Wire bounds shared with the gob path's post-decode validation
+// (transport/wire.go aliases these, so the two codecs can never drift). The
+// bounds are far above anything the system generates — they exist to cap
+// hostile input, not to constrain use.
+const (
+	MaxSteps     = 64      // location steps per subscription
+	MaxName      = 256     // bytes per element name, attribute, or ID
+	MaxPath      = 256     // elements per publication path
+	MaxAdvItems  = 256     // advertisement items, groups included
+	MaxAdvDepth  = 8       // advertisement group nesting
+	MaxResync    = 1 << 16 // entries per resync list
+	MaxDocElems  = 1 << 16 // elements per whole-document publication
+	MaxDocDepth  = MaxPath
+	MaxHops      = 1024    // carried trace hops
+	MaxRawDoc    = 1 << 20 // bytes per raw-XML publication body
+	MaxHopStages = 16      // per-stage durations per carried hop
+	MaxStageName = 32      // bytes per stage name
+
+	// MaxStageNanos caps a carried stage duration at one hour: durations
+	// are measured monotonic timings, so a larger (or negative) value can
+	// only be a forged frame.
+	MaxStageNanos = int64(3600) * 1e9
+
+	// MaxDict bounds the per-link symbol dictionary. Element alphabets are
+	// small; the largest legitimate consumer is advertisement ids, one per
+	// advert (a resync claim spans a whole SRT, ~64k entries). A peer that
+	// declares more symbols than this is flooding, and loses the link.
+	MaxDict = 1 << 20
+
+	// MaxFrame bounds one frame's declared payload length. Raw documents
+	// cap at MaxRawDoc; parsed documents at MaxDocElems elements. The frame
+	// buffer grows only as bytes actually arrive, so a hostile declared
+	// length costs the sender real traffic, not the receiver memory.
+	MaxFrame = 16 << 20
+)
+
+// Limits parameterises the decoder's bounds so tests and embedders can
+// tighten them; DefaultLimits mirrors the package constants.
+type Limits struct {
+	MaxSteps     int
+	MaxName      int
+	MaxPath      int
+	MaxAdvItems  int
+	MaxAdvDepth  int
+	MaxResync    int
+	MaxDocElems  int
+	MaxDocDepth  int
+	MaxHops      int
+	MaxRawDoc    int
+	MaxHopStages int
+	MaxStageName int
+
+	MaxStageNanos int64
+	MaxDict       int
+	MaxFrame      int
+}
+
+// DefaultLimits is the wire-bound set used on broker and client links.
+var DefaultLimits = Limits{
+	MaxSteps:      MaxSteps,
+	MaxName:       MaxName,
+	MaxPath:       MaxPath,
+	MaxAdvItems:   MaxAdvItems,
+	MaxAdvDepth:   MaxAdvDepth,
+	MaxResync:     MaxResync,
+	MaxDocElems:   MaxDocElems,
+	MaxDocDepth:   MaxDocDepth,
+	MaxHops:       MaxHops,
+	MaxRawDoc:     MaxRawDoc,
+	MaxHopStages:  MaxHopStages,
+	MaxStageName:  MaxStageName,
+	MaxStageNanos: MaxStageNanos,
+	MaxDict:       MaxDict,
+	MaxFrame:      MaxFrame,
+}
+
+// publish-frame flag bits.
+const (
+	pubFlagDoc   byte = 1 << 0 // carries a parsed whole document
+	pubFlagRaw   byte = 1 << 1 // carries a raw-XML body
+	pubFlagTrace byte = 1 << 2 // carries TraceID and hop list
+	pubFlagAttrs byte = 1 << 3 // carries per-element attribute maps
+)
+
+// xpe-record flag bits.
+const xpeFlagRelative byte = 1 << 0
+
+// zigzag maps a signed value onto the uvarint space (small magnitudes stay
+// small in either sign).
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendUvarint appends v to b in LEB128 form.
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// errTruncated is the generic inside-a-frame underrun error.
+var errTruncated = fmt.Errorf("wirefmt: truncated frame")
