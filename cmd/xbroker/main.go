@@ -28,6 +28,7 @@ import (
 	"repro/internal/admin"
 	"repro/internal/broker"
 	"repro/internal/metrics"
+	"repro/internal/publog"
 	"repro/internal/slowlog"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -59,6 +60,11 @@ func main() {
 		retryBuffer  = flag.Int("retry-buffer", 0, "control messages buffered per neighbour across outages (default 1024)")
 		dialBudget   = flag.Int("dial-budget", 0, "consecutive failed dials before a link goes dormant until new control traffic (0 = unlimited)")
 
+		durableDir    = flag.String("durable-dir", "", "publication-log directory for durable subscriptions (empty disables durability)")
+		fsyncInterval = flag.Duration("fsync-interval", 5*time.Millisecond, "publication-log group-commit interval: how long an appended record may wait for its fsync while the batch grows (0 = fsync per drained batch)")
+		retention     = flag.Int64("retention", 0, "force-reclaim the oldest closed log segments once the publication log exceeds this many bytes, even unacknowledged ones (0 = reclaim only fully-acknowledged segments)")
+		retainAge     = flag.Duration("retain-age", 0, "force-reclaim closed log segments older than this (0 = never by age)")
+
 		wire           = flag.String("wire", "binary", "neighbour/client wire codec: binary (zero-copy batched frames) or gob (legacy fallback; a binary offer from the peer is negotiated down)")
 		flushInterval  = flag.Duration("flush-interval", 0, "how long a queued publication may linger to grow its batch (0 = flush opportunistically, no added latency)")
 		maxBatchBytes  = flag.Int("max-batch-bytes", 0, "flush a neighbour batch once it holds this many bytes (default 256KiB)")
@@ -79,6 +85,19 @@ func main() {
 		// are diagnosable from the broker's log alone.
 		slow.Logger = func(e slowlog.Entry) { log.Printf("slow publication %s", e) }
 	}
+	var store *publog.Store
+	if *durableDir != "" {
+		store, err = publog.Open(*durableDir, publog.Options{
+			FsyncInterval: *fsyncInterval,
+			RetainBytes:   *retention,
+			RetainAge:     *retainAge,
+		})
+		if err != nil {
+			log.Fatalf("xbroker: durable log: %v", err)
+		}
+		store.RegisterMetrics(reg)
+		defer store.Close()
+	}
 	cfg := broker.Config{
 		ID:                 *id,
 		UseAdvertisements:  *useAdv,
@@ -90,6 +109,9 @@ func main() {
 		Metrics:            reg,
 		TraceSink:          ring,
 		SlowLog:            slow,
+	}
+	if store != nil {
+		cfg.Durable = store
 	}
 	switch *merging {
 	case "off":
@@ -123,22 +145,29 @@ func main() {
 	}
 	log.Printf("broker %s listening on %s (%d neighbours, strategy %s)",
 		*id, addr, len(nb), cfg.StrategyName())
+	if store != nil {
+		log.Printf("durable subscriptions enabled, publication log in %s (fsync every %v)", *durableDir, *fsyncInterval)
+	}
 
 	if *adminAddr != "" {
+		status := &admin.Status{
+			Broker:   *id,
+			Started:  time.Now(),
+			Registry: reg,
+			Links:    func() any { return srv.Links() },
+			Queues:   srv.QueueDepths,
+			Slow:     slow,
+			Shards:   func() any { return srv.Broker().ShardStatus() },
+		}
+		if store != nil {
+			status.Publog = func() any { return store.Status() }
+		}
 		h := admin.Endpoints{
 			Metrics: reg,
 			Traces:  ring,
 			Routes:  func() any { return srv.Broker().Routes() },
 			Slow:    slow,
-			Status: &admin.Status{
-				Broker:   *id,
-				Started:  time.Now(),
-				Registry: reg,
-				Links:    func() any { return srv.Links() },
-				Queues:   srv.QueueDepths,
-				Slow:     slow,
-				Shards:   func() any { return srv.Broker().ShardStatus() },
-			},
+			Status:  status,
 		}.Handler()
 		bound, stopAdmin, err := admin.Serve(*adminAddr, h)
 		if err != nil {

@@ -56,6 +56,8 @@ func run(args []string, out io.Writer) error {
 		raw          = fs.Bool("raw", false, "publish the file as raw XML bytes so brokers route it with the streaming matcher (no tree is ever built)")
 		traced       = fs.Bool("trace", false, "stamp the publication with a trace ID for per-hop tracing (query /debug/traces on the brokers)")
 		reconnect    = fs.Bool("reconnect", false, "redial a lost broker connection with backoff and replay subscriptions/advertisements")
+		durable      = fs.String("durable", "", "durable subscription name: the broker logs matches under this name while disconnected and replays the unacknowledged gap on reattach (requires a broker started with -durable-dir)")
+		noAck        = fs.Bool("no-ack", false, "with -durable, do not auto-acknowledge deliveries (the unacked window then replays on every reattach)")
 		wire         = fs.String("wire", "binary", "wire codec to offer the broker: binary or gob (the broker may negotiate binary down)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,7 +70,12 @@ func run(args []string, out io.Writer) error {
 	if *wire != transport.WireBinary && *wire != transport.WireGob {
 		return fmt.Errorf("unknown wire codec %q (want binary or gob)", *wire)
 	}
-	c, err := transport.DialOptions(*connect, *id, transport.ClientOptions{Reconnect: *reconnect, Wire: *wire})
+	c, err := transport.DialOptions(*connect, *id, transport.ClientOptions{
+		Reconnect: *reconnect,
+		Wire:      *wire,
+		Durable:   *durable,
+		AutoAck:   *durable != "" && !*noAck,
+	})
 	if err != nil {
 		return err
 	}
@@ -130,7 +137,11 @@ func run(args []string, out io.Writer) error {
 		if err := c.Send(&broker.Message{Type: broker.MsgSubscribe, XPE: x}); err != nil {
 			return fmt.Errorf("subscribe: %w", err)
 		}
-		fmt.Fprintf(out, "subscribed to %s; waiting for documents\n", x)
+		if *durable != "" {
+			fmt.Fprintf(out, "subscribed to %s as durable %q; waiting for documents\n", x, *durable)
+		} else {
+			fmt.Fprintf(out, "subscribed to %s; waiting for documents\n", x)
+		}
 		deadline := make(<-chan time.Time)
 		if *wait > 0 {
 			deadline = time.After(*wait)
@@ -141,7 +152,14 @@ func run(args []string, out io.Writer) error {
 				if !ok {
 					return fmt.Errorf("connection closed")
 				}
-				printDelivery(out, m)
+				switch m.Type {
+				case broker.MsgReplayBegin:
+					fmt.Fprintf(out, "replay begins from seq %d\n", m.Seq)
+				case broker.MsgReplayEnd:
+					fmt.Fprintf(out, "replay complete through seq %d\n", m.Seq)
+				default:
+					printDelivery(out, m)
+				}
 			case <-deadline:
 				return nil
 			}
@@ -170,8 +188,11 @@ func loadDTD(name string) (*dtd.DTD, error) {
 
 func printDelivery(out io.Writer, m *broker.Message) {
 	delay := ""
+	if m.Durable != "" {
+		delay = fmt.Sprintf(" seq=%d", m.Seq)
+	}
 	if m.Stamp != 0 {
-		delay = fmt.Sprintf(" (delay %v)", time.Since(time.Unix(0, m.Stamp)).Round(time.Microsecond))
+		delay += fmt.Sprintf(" (delay %v)", time.Since(time.Unix(0, m.Stamp)).Round(time.Microsecond))
 	}
 	switch {
 	case m.Doc != nil:

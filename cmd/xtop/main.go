@@ -215,10 +215,10 @@ func render(out io.Writer, results []result, clear bool) {
 	fmt.Fprintf(&b, "xtop — %s\n\n", time.Now().Format("15:04:05"))
 
 	// Overview table.
-	tw := newTable(&b, "BROKER", "TARGET", "UP", "EPOCH", "PUB/S", "DLV/S", "LINKS", "WIRE", "QMAX", "SLOW", "SHARDS")
+	tw := newTable(&b, "BROKER", "TARGET", "UP", "EPOCH", "PUB/S", "DLV/S", "LINKS", "WIRE", "QMAX", "SLOW", "SHARDS", "LAG")
 	for _, r := range results {
 		if r.Status == nil {
-			tw.row("?", r.Target, "DOWN", "-", "-", "-", "-", "-", "-", "-", "-")
+			tw.row("?", r.Target, "DOWN", "-", "-", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}
 		st := r.Status
@@ -246,6 +246,7 @@ func render(out io.Writer, results []result, clear bool) {
 			fmt.Sprint(qmax),
 			fmt.Sprint(st.SlowTotal),
 			formatShards(st.Shards),
+			formatLag(st),
 		)
 	}
 	tw.flush()
@@ -305,6 +306,19 @@ func formatShards(shards []shardInfo) string {
 		entries += s.Entries
 	}
 	return fmt.Sprintf("%d:%d", len(shards), entries)
+}
+
+// formatLag renders the worst durable-subscription replay backlog — the
+// xbroker_publog_lag gauge, the maximum last-logged-minus-acked distance
+// across durable names. "-" when the broker runs without a publication log
+// (the gauge is absent); "0" is the healthy steady state: every durable
+// subscriber attached and acked up to date.
+func formatLag(st *status) string {
+	v, ok := st.Gauges["xbroker_publog_lag"]
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
 }
 
 // formatWire summarises the neighbour links' wire state: the negotiated

@@ -45,6 +45,11 @@ type Status struct {
 	// the broker's ShardStatus method fits. The value is embedded verbatim
 	// in the snapshot JSON.
 	Shards func() any
+	// Publog, when non-nil, reports the publication log backing durable
+	// subscriptions (segments, bytes, per-name cursors); the publog store's
+	// Status method fits. The value is embedded verbatim in the snapshot
+	// JSON.
+	Publog func() any
 
 	// Now, when non-nil, replaces time.Now — tests inject a fake clock to
 	// exercise rate computation deterministically.
@@ -94,6 +99,9 @@ type StatusSnapshot struct {
 	// broker.ShardStatus): entries, compiled states, the snapshot epoch of
 	// the slot's last rebuild, and that rebuild's duration.
 	Shards any `json:"shards,omitempty"`
+	// Publog is the durable-subscription publication log's state (see
+	// publog.Status): segment count, byte size, and per-name cursor lag.
+	Publog any `json:"publog,omitempty"`
 }
 
 // stageOrder fixes the pipeline order for the Stages list.
@@ -166,6 +174,9 @@ func (st *Status) Snapshot() StatusSnapshot {
 	}
 	if st.Shards != nil {
 		out.Shards = st.Shards()
+	}
+	if st.Publog != nil {
+		out.Publog = st.Publog()
 	}
 	return out
 }

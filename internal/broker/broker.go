@@ -122,6 +122,12 @@ type Config struct {
 	// queue depths; it is called only when a slow publication is captured
 	// (never on the healthy hot path). The TCP transport installs it.
 	QueueDepths func() map[string]int
+
+	// Durable, when non-nil, is the write-ahead publication log backing
+	// durable named subscriptions (see DurableStore and DESIGN.md §5i).
+	// Nil disables durability: MsgSubscribeDurable and MsgAck are ignored
+	// and the publish path pays one snapshot-map length check per hop.
+	Durable DurableStore
 }
 
 // StrategyName renders the routing strategy compactly for metric labels,
@@ -169,7 +175,7 @@ type counters struct {
 }
 
 // msgTypeCount bounds the MsgType enum for array-indexed counters.
-const msgTypeCount = int(MsgHeartbeat) + 1
+const msgTypeCount = int(MsgReplayEnd) + 1
 
 // Broker is one content-based XML router, safe for concurrent use.
 //
@@ -215,6 +221,13 @@ type Broker struct {
 	// delivery filtering: mergers may overapproximate, and the paper's
 	// semantics require that false positives never reach clients.
 	clientSubs map[string]*subtree.Tree
+
+	// durables holds the master durable-subscription states by name;
+	// guarded by mu (the states themselves carry their own locks for the
+	// publish plane — see durState).
+	durables map[string]*durState
+	// durable mirrors Config.Durable for nil checks off the lock.
+	durable DurableStore
 
 	sinceMerge int
 	stats      counters
@@ -269,6 +282,8 @@ func New(cfg Config, send func(to string, m *Message)) *Broker {
 		srtByID:    make(map[string]*advEntry),
 		prt:        subtree.New(),
 		clientSubs: make(map[string]*subtree.Tree),
+		durables:   make(map[string]*durState),
+		durable:    cfg.Durable,
 	}
 	b.snap.Store(emptySnapshot())
 	b.slow = cfg.SlowLog
@@ -344,6 +359,11 @@ func (b *Broker) registerMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("xbroker_snapshot_epoch",
 		"Routing-snapshot epoch: increments each time a control-plane change swaps the publish view.",
 		func() float64 { return float64(b.SnapshotEpoch()) })
+	if b.durable != nil {
+		reg.GaugeFunc("xbroker_durable_subscriptions",
+			"Durable named subscriptions registered on this broker.",
+			func() float64 { return float64(len(b.snap.Load().durables)) })
+	}
 	b.nfaBuildSeconds = reg.Histogram("xbroker_nfa_build_seconds",
 		"Shared matching-automaton compile time at snapshot publication.",
 		metrics.DefBuckets)
@@ -543,7 +563,11 @@ func (b *Broker) HandleMessage(m *Message, from string) {
 		if ev != nil && b.cfg.TraceSink != nil {
 			b.cfg.TraceSink.Record(*ev)
 		}
-	case MsgAdvertise, MsgUnadvertise, MsgSubscribe, MsgUnsubscribe, MsgResync:
+	case MsgAck:
+		// Acks ride the data plane: a cursor advance is an atomic max plus
+		// a store call, never a snapshot swap.
+		b.handleAck(m)
+	case MsgAdvertise, MsgUnadvertise, MsgSubscribe, MsgUnsubscribe, MsgResync, MsgSubscribeDurable:
 		b.mu.Lock()
 		defer b.mu.Unlock()
 		switch m.Type {
@@ -557,6 +581,8 @@ func (b *Broker) HandleMessage(m *Message, from string) {
 			b.handleUnsubscribe(m, from)
 		case MsgResync:
 			b.handleResync(m, from)
+		case MsgSubscribeDurable:
+			b.handleSubscribeDurable(m, from)
 		}
 		// Swap the publish view before the lock drops: the next publication
 		// to load the snapshot observes this control change in full.

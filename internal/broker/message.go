@@ -44,6 +44,21 @@ const (
 	// exchanges heartbeats on idle broker links for dead-peer detection and
 	// consumes them before broker dispatch; brokers never see one.
 	MsgHeartbeat
+	// MsgSubscribeDurable registers a durable named subscription (Durable
+	// carries the name, XPE the expression). The edge broker assigns every
+	// matched publication a per-name sequence number, appends it to the
+	// write-ahead publication log, and replays the unacknowledged gap when
+	// the named subscription reattaches — see DESIGN.md §5i.
+	MsgSubscribeDurable
+	// MsgAck advances a durable subscription's acknowledged cursor: the
+	// client has processed every sequence up to and including Seq.
+	MsgAck
+	// MsgReplayBegin brackets the start of a reattach replay on a client
+	// link; Seq is the first sequence the replay covers (acked cursor + 1).
+	MsgReplayBegin
+	// MsgReplayEnd closes a replay; Seq is the highest sequence assigned at
+	// replay time. Deliveries after it are live.
+	MsgReplayEnd
 )
 
 // String returns the wire name of the message type.
@@ -63,6 +78,14 @@ func (t MsgType) String() string {
 		return "resync"
 	case MsgHeartbeat:
 		return "heartbeat"
+	case MsgSubscribeDurable:
+		return "subscribe-durable"
+	case MsgAck:
+		return "ack"
+	case MsgReplayBegin:
+		return "replay-begin"
+	case MsgReplayEnd:
+		return "replay-end"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -98,6 +121,16 @@ type Message struct {
 	// that fails the scan (malformed XML or wire document bounds) is
 	// dropped and counted in Stats.BadDocuments.
 	Raw []byte
+
+	// Durable names a durable subscription (subscribe-durable, ack,
+	// replay-begin/end) and stamps durable deliveries: a publication
+	// emitted to a durable subscriber carries the name and its assigned
+	// sequence so the client can acknowledge it. Empty everywhere else.
+	Durable string
+	// Seq is the durable sequence number paired with Durable: the
+	// delivery's assigned sequence, the cursor of an ack, the first
+	// sequence of a replay (begin), or the last assigned sequence (end).
+	Seq uint64
 
 	// Stamp is the publication's emission time in nanoseconds on the
 	// transport's clock (virtual for the simulator, wall for TCP); clients
@@ -154,6 +187,10 @@ func (m *Message) String() string {
 			return fmt.Sprintf("%s advs=%d subs=%d", m.Type, len(m.Resync.Advs), len(m.Resync.Subs))
 		}
 		return m.Type.String()
+	case MsgSubscribeDurable:
+		return fmt.Sprintf("%s %s %s", m.Type, m.Durable, m.XPE)
+	case MsgAck, MsgReplayBegin, MsgReplayEnd:
+		return fmt.Sprintf("%s %s seq=%d", m.Type, m.Durable, m.Seq)
 	default:
 		return m.Type.String()
 	}

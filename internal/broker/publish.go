@@ -236,6 +236,16 @@ func (b *Broker) handlePublish(m *Message, from string) *trace.Event {
 		ev.Hops = hopList
 	}
 	for _, hop := range kept {
+		// Durable virtual clients stay in kept through the filter pass (so
+		// delivery counters see them) and peel off here: sequence + log
+		// append + stamped emit to the attached client, if any. The length
+		// check keeps the common no-durables case to one branch.
+		if len(snap.durables) != 0 {
+			if d := snap.durables[hop]; d != nil {
+				b.durableDeliver(d, fwd)
+				continue
+			}
+		}
 		b.emit(hop, fwd)
 	}
 	if measure {

@@ -41,6 +41,13 @@ type routeSnapshot struct {
 	// srt is the advertisement table view (entries are immutable after
 	// insertion; the slice is copied on change).
 	srt []*advEntry
+	// durables maps durable virtual-client keys (durKey(name)) to their
+	// durable-subscription states. The states are shared with the master
+	// map — each carries its own lock/atomics for the publish plane — so
+	// the snapshot copy is pointer-shallow. Empty (never nil) without
+	// durable subscriptions, keeping the publish filter pass to one map
+	// length check.
+	durables map[string]*durState
 	// auto is the sharded path-matching automaton compiled from this
 	// snapshot's PRT (payload: sorted last-hop slices) and per-client filter
 	// trees (payload: clientMatch keys), partitioned by root symbol
@@ -75,6 +82,7 @@ func emptySnapshot() *routeSnapshot {
 		prt:        subtree.New(),
 		clients:    map[string]bool{},
 		clientSubs: map[string]*subtree.Tree{},
+		durables:   map[string]*durState{},
 	}
 }
 
@@ -85,6 +93,7 @@ type snapDirty struct {
 	prt        bool
 	srt        bool
 	clients    bool
+	durables   bool
 	clientSubs map[string]bool // per-client filter trees
 	// shards are the slots whose entry sets may have changed; shardsAll is
 	// the conservative everything-changed mark (merge passes, resync).
@@ -107,7 +116,7 @@ func (d *snapDirty) markShard(slot int) {
 }
 
 func (d *snapDirty) any() bool {
-	return d.prt || d.srt || d.clients || len(d.clientSubs) > 0
+	return d.prt || d.srt || d.clients || d.durables || len(d.clientSubs) > 0
 }
 
 // markShard records that a control change touched the matching entries of
@@ -134,6 +143,7 @@ func (b *Broker) publishSnapshot() {
 		clients:    old.clients,
 		clientSubs: old.clientSubs,
 		srt:        old.srt,
+		durables:   old.durables,
 		auto:       old.auto,
 		shardMeta:  old.shardMeta,
 	}
@@ -149,6 +159,13 @@ func (b *Broker) publishSnapshot() {
 			clients[id] = true
 		}
 		next.clients = clients
+	}
+	if b.dirty.durables {
+		durables := make(map[string]*durState, len(b.durables))
+		for name, d := range b.durables {
+			durables[durKey(name)] = d
+		}
+		next.durables = durables
 	}
 	if len(b.dirty.clientSubs) > 0 {
 		subs := make(map[string]*subtree.Tree, len(b.clientSubs))

@@ -1,0 +1,77 @@
+package publog
+
+// Cursor persistence. The per-name acknowledged cursor, highest assigned
+// sequence, and subscription expressions live in a single JSON sidecar
+// (meta.json), replaced atomically: write a temp file, fsync it, rename
+// over the old one. A crash mid-save leaves the previous meta intact —
+// and a stale acked cursor only means extra replay, which at-least-once
+// delivery permits.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+const metaFile = "meta.json"
+
+// metaDoc is the on-disk shape of the cursor state.
+type metaDoc struct {
+	Names map[string]*nameMeta `json:"names"`
+}
+
+// loadMeta reads meta.json into s.meta; a missing file is an empty store.
+func (s *Store) loadMeta() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, metaFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var doc metaDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		// A torn meta write never happens (rename is atomic), but a
+		// corrupted file should not brick the log: cursors reset to zero
+		// and replay over-delivers, which at-least-once permits.
+		return nil
+	}
+	for name, nm := range doc.Names {
+		if nm != nil {
+			s.meta[name] = nm
+		}
+	}
+	return nil
+}
+
+// saveMetaLocked atomically replaces meta.json. Caller holds s.mu.
+func (s *Store) saveMetaLocked() error {
+	doc := metaDoc{Names: s.meta}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, metaFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if !s.opts.NoFsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, metaFile)); err != nil {
+		return err
+	}
+	s.metaDirty = false
+	return nil
+}

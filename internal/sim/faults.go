@@ -62,9 +62,17 @@ func (n *Network) applyFault(e *faultinject.Event) {
 			n.invoke(e.B, func(b *broker.Broker) { b.ResyncFor(e.A) })
 		}
 	case faultinject.KindCrash:
-		n.down[e.A] = true
+		if c := n.clients[e.A]; c != nil {
+			c.Detach()
+		} else {
+			n.down[e.A] = true
+		}
 	case faultinject.KindRestart:
-		n.restartBroker(e.A)
+		if c := n.clients[e.A]; c != nil {
+			c.Reattach()
+		} else {
+			n.restartBroker(e.A)
+		}
 	default:
 		panic(fmt.Sprintf("sim: unknown fault kind %v", e.Kind))
 	}
@@ -77,7 +85,14 @@ func (n *Network) applyFault(e *faultinject.Event) {
 // control messages.
 func (n *Network) restartBroker(id string) {
 	delete(n.down, id)
-	fresh := n.newBrokerInstance(n.cfgs[id])
+	cfg := n.cfgs[id]
+	if n.DurableReopen != nil {
+		// A real broker process reopens its publication log on boot; the
+		// hook hands the restarted instance its recovered store.
+		cfg.Durable = n.DurableReopen(id)
+		n.cfgs[id] = cfg
+	}
+	fresh := n.newBrokerInstance(cfg)
 	n.brokers[id] = fresh
 
 	neighbors := make([]string, 0, len(n.adj[id]))
@@ -91,6 +106,12 @@ func (n *Network) restartBroker(id string) {
 	clients := n.clientsOf(id)
 	for _, c := range clients {
 		fresh.AddClient(c.ID)
+	}
+	if cfg.Durable != nil {
+		// After neighbour registration (recovered subscriptions forward
+		// upstream) and before the resync exchange — the order the TCP
+		// transport's constructor follows.
+		n.invoke(id, func(b *broker.Broker) { b.RecoverDurable() })
 	}
 	for _, nb := range neighbors {
 		if n.down[nb] || n.partitioned[linkKey(id, nb)] {
@@ -110,6 +131,30 @@ func (n *Network) restartBroker(id string) {
 		}
 	}
 }
+
+// Detach severs the client's connection to its edge broker: frames
+// addressed to it are lost until Reattach. The broker keeps sequencing and
+// logging the client's durable subscription while it is gone.
+func (c *Client) Detach() { c.detached = true }
+
+// Reattach restores the client's connection and replays its recorded
+// control state, like a real client's reconnect — a recorded durable
+// subscription doubles as reattach and triggers gap replay broker-side.
+func (c *Client) Reattach() {
+	c.detached = false
+	c.replaying = false
+	for _, m := range c.record {
+		c.net.push(&event{
+			at:   c.net.now + c.net.Latency.Latency(c.ID, c.Broker, c.net.rand) + c.net.transfer(m),
+			from: c.ID,
+			to:   c.Broker,
+			msg:  m,
+		})
+	}
+}
+
+// Detached reports whether the client's connection is currently severed.
+func (c *Client) Detached() bool { return c.detached }
 
 // clientsOf returns the clients attached to a broker, sorted by ID for
 // deterministic replay order.

@@ -25,12 +25,24 @@ type Delivery struct {
 	Pub   string
 	At    time.Duration
 	Delay time.Duration
+	// Seq is the durable sequence number stamped on deliveries to a durable
+	// subscriber (zero otherwise); Replay marks deliveries that arrived
+	// inside a replay-begin/replay-end bracket rather than live.
+	Seq    uint64
+	Replay bool
 }
 
 // Client is a publisher or subscriber attached to an edge broker.
 type Client struct {
 	ID     string
 	Broker string
+
+	// Durable, when set, names a durable subscription on the edge broker:
+	// Subscribe/Send convert plain subscriptions to durable registrations
+	// under that name, and deliveries carry sequence numbers. AutoAck
+	// acknowledges each delivery as it arrives.
+	Durable string
+	AutoAck bool
 
 	// Deliveries accumulates received publications.
 	Deliveries []Delivery
@@ -40,6 +52,12 @@ type Client struct {
 	// reconnect logic replays. When the edge broker restarts after a crash,
 	// the simulator re-enqueues the record.
 	record []*broker.Message
+
+	// detached marks a client whose connection is severed: frames addressed
+	// to it are lost like any partitioned link's. replaying tracks whether
+	// the client is inside a replay bracket.
+	detached  bool
+	replaying bool
 
 	net *Network
 }
@@ -81,6 +99,13 @@ type Network struct {
 	// wire-size/Bandwidth (bytes per second) per hop, which is how document
 	// size reaches the notification delay.
 	Bandwidth float64
+
+	// DurableReopen, when set, reopens a restarted broker's durable store
+	// (publication log) before the fresh instance is built — the simulated
+	// counterpart of a real broker process reopening its -durable-dir on
+	// boot. The restart path then runs RecoverDurable after neighbour and
+	// client registration, exactly like transport.NewServerOptions.
+	DurableReopen func(id string) broker.DurableStore
 
 	// brokerReceived counts messages delivered to brokers, by type — the
 	// paper's network-traffic metric.
@@ -218,6 +243,13 @@ func (n *Network) enqueueFromClient(c *Client, m *broker.Message) {
 	if m.Type == broker.MsgPublish && m.Stamp == 0 {
 		m.Stamp = int64(n.now)
 	}
+	// A durable client's subscriptions register under its durable name —
+	// converted before recording, so a broker-restart replay re-sends the
+	// durable registration (which doubles as reattach).
+	if c.Durable != "" && m.Type == broker.MsgSubscribe {
+		m.Type = broker.MsgSubscribeDurable
+		m.Durable = c.Durable
+	}
 	c.recordControl(m)
 	n.push(&event{
 		at:   n.now + n.Latency.Latency(c.ID, c.Broker, n.rand) + n.transfer(m),
@@ -231,7 +263,7 @@ func (n *Network) enqueueFromClient(c *Client, m *broker.Message) {
 // cancel the matching prior message instead of being recorded themselves.
 func (c *Client) recordControl(m *broker.Message) {
 	switch m.Type {
-	case broker.MsgSubscribe, broker.MsgAdvertise:
+	case broker.MsgSubscribe, broker.MsgAdvertise, broker.MsgSubscribeDurable:
 		c.record = append(c.record, m)
 	case broker.MsgUnsubscribe:
 		c.dropRecord(func(r *broker.Message) bool {
@@ -310,12 +342,33 @@ func (n *Network) step() int {
 		return 1
 	}
 	if c := n.clients[e.to]; c != nil {
-		if e.msg.Type == broker.MsgPublish {
-			d := Delivery{Pub: e.msg.Pub.String(), At: n.now}
+		if c.detached {
+			// A severed client connection loses frames exactly like a
+			// partitioned link; durable deliveries are already logged
+			// broker-side and replay on reattach.
+			n.faultDrops++
+			return 1
+		}
+		switch e.msg.Type {
+		case broker.MsgPublish:
+			d := Delivery{Pub: e.msg.Pub.String(), At: n.now,
+				Seq: e.msg.Seq, Replay: c.replaying && e.msg.Durable != ""}
 			if e.msg.Stamp != 0 {
 				d.Delay = n.now - time.Duration(e.msg.Stamp)
 			}
 			c.Deliveries = append(c.Deliveries, d)
+			if c.AutoAck && e.msg.Durable != "" {
+				n.push(&event{
+					at:   n.now + n.Latency.Latency(c.ID, c.Broker, n.rand),
+					from: c.ID,
+					to:   c.Broker,
+					msg:  &broker.Message{Type: broker.MsgAck, Durable: e.msg.Durable, Seq: e.msg.Seq},
+				})
+			}
+		case broker.MsgReplayBegin:
+			c.replaying = true
+		case broker.MsgReplayEnd:
+			c.replaying = false
 		}
 		return 1
 	}

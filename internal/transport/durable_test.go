@@ -1,0 +1,262 @@
+package transport
+
+// End-to-end durable delivery over real TCP: a named client subscribes
+// through the wire, its deliveries carry the durable name and sequence,
+// acknowledgements advance the broker's cursor, and both kinds of outage —
+// the client going away and the broker process dying — end in a replay of
+// exactly the unacknowledged gap, bracketed by replay markers.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/publog"
+	"repro/internal/xmldoc"
+	"repro/internal/xpath"
+)
+
+// startDurableEdge boots one broker backed by a real publication log in dir.
+func startDurableEdge(t *testing.T, dir string) (*Server, string, *publog.Store) {
+	t.Helper()
+	store, err := publog.Open(dir, publog.Options{SyncAppend: true, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := broker.Config{ID: "b1", Durable: store}
+	s := NewServerOptions(cfg, nil, fastHeal())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, addr, store
+}
+
+// durableOf fetches the broker-side status of one durable subscription.
+func durableOf(s *Server, name string) (broker.DurableStatus, bool) {
+	for _, st := range s.b.Durables() {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return broker.DurableStatus{}, false
+}
+
+// nextDelivery pulls one message off the client within the deadline.
+func nextDelivery(t *testing.T, c *Client) *broker.Message {
+	t.Helper()
+	m, err := c.WaitDelivery(5 * time.Second)
+	if err != nil {
+		t.Fatalf("WaitDelivery: %v", err)
+	}
+	return m
+}
+
+// expectReplayOverWire consumes one full replay bracket from the client and
+// returns the replayed sequences.
+func expectReplayOverWire(t *testing.T, c *Client, wantFrom, wantLast uint64) []uint64 {
+	t.Helper()
+	m := nextDelivery(t, c)
+	if m.Type != broker.MsgReplayBegin || m.Seq != wantFrom {
+		t.Fatalf("replay opened with %v seq %d, want begin seq %d", m.Type, m.Seq, wantFrom)
+	}
+	var seqs []uint64
+	for {
+		m = nextDelivery(t, c)
+		if m.Type == broker.MsgReplayEnd {
+			if m.Seq != wantLast {
+				t.Fatalf("replay closed at seq %d, want %d", m.Seq, wantLast)
+			}
+			return seqs
+		}
+		if m.Type != broker.MsgPublish || m.Durable == "" {
+			t.Fatalf("replay contained %v durable %q", m.Type, m.Durable)
+		}
+		seqs = append(seqs, m.Seq)
+	}
+}
+
+// TestDurableClientGapReplayOverTCP is the client-outage half: publications
+// that arrive while the durable client is disconnected are sequenced and
+// logged, and the next attachment of the same name replays exactly the gap.
+func TestDurableClientGapReplayOverTCP(t *testing.T) {
+	s, addr, store := startDurableEdge(t, t.TempDir())
+	t.Cleanup(func() { s.Close(); store.Close() })
+
+	var acks atomic.Uint64
+	sub, err := DialOptions(addr, "alice", ClientOptions{
+		Durable: "orders",
+		AutoAck: true,
+		OnAck:   func(seq uint64) { acks.Store(seq) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A plain subscribe from a durable client travels as subscribe-durable.
+	if err := sub.Send(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/a")}); err != nil {
+		t.Fatal(err)
+	}
+	// First attachment replays the empty log: bracket only.
+	if got := expectReplayOverWire(t, sub, 1, 0); len(got) != 0 {
+		t.Fatalf("empty log replayed %d records", len(got))
+	}
+
+	pub, err := Dial(addr, "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	publish := func(doc uint64) {
+		t.Helper()
+		if err := pub.Send(&broker.Message{
+			Type: broker.MsgPublish,
+			Pub:  xmldoc.Publication{DocID: doc, Path: []string{"a", "b"}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	publish(1)
+	m := nextDelivery(t, sub)
+	if m.Durable != "orders" || m.Seq != 1 || m.Pub.DocID != 1 {
+		t.Fatalf("live delivery durable %q seq %d doc %d, want orders/1/1", m.Durable, m.Seq, m.Pub.DocID)
+	}
+	// AutoAck advances the broker-side cursor without any client code.
+	waitFor(t, func() bool { st, ok := durableOf(s, "orders"); return ok && st.Acked == 1 })
+	if acks.Load() != 1 {
+		t.Fatalf("OnAck observed seq %d, want 1", acks.Load())
+	}
+
+	// Client vanishes; the broker keeps sequencing into the log.
+	sub.Close()
+	publish(2)
+	publish(3)
+	waitFor(t, func() bool { st, ok := durableOf(s, "orders"); return ok && st.Seq == 3 })
+
+	// Same durable name reattaches (explicit acks this time): the replay is
+	// exactly the unacked gap 2..3, in order.
+	sub2, err := DialOptions(addr, "alice", ClientOptions{Durable: "orders"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	if err := sub2.Send(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/a")}); err != nil {
+		t.Fatal(err)
+	}
+	seqs := expectReplayOverWire(t, sub2, 2, 3)
+	if len(seqs) != 2 || seqs[0] != 2 || seqs[1] != 3 {
+		t.Fatalf("gap replay delivered %v, want [2 3]", seqs)
+	}
+	if err := sub2.Ack(3); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { st, ok := durableOf(s, "orders"); return ok && st.Acked == 3 })
+
+	// Fully acked: one more attachment replays nothing.
+	sub3, err := DialOptions(addr, "alice", ClientOptions{Durable: "orders"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub3.Close()
+	if err := sub3.Send(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/a")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := expectReplayOverWire(t, sub3, 4, 3); len(got) != 0 {
+		t.Fatalf("fully-acked reattach replayed %d records", len(got))
+	}
+}
+
+// TestDurableReconnectReplaysGap drives the outage through the client's own
+// reconnect machinery: the broker process dies and restarts on the same
+// address and log directory, and the client's recorded subscription replay
+// doubles as the durable reattach.
+func TestDurableReconnectReplaysGap(t *testing.T) {
+	dir := t.TempDir()
+	s1, addr, store1 := startDurableEdge(t, dir)
+
+	opts := fastClient()
+	opts.Durable = "orders"
+	sub, err := DialOptions(addr, "alice", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Send(&broker.Message{Type: broker.MsgSubscribe, XPE: xpath.MustParse("/a")}); err != nil {
+		t.Fatal(err)
+	}
+	expectReplayOverWire(t, sub, 1, 0)
+
+	pub, err := Dial(addr, "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Send(&broker.Message{Type: broker.MsgPublish, Pub: xmldoc.Publication{DocID: 1, Path: []string{"a"}}}); err != nil {
+		t.Fatal(err)
+	}
+	m := nextDelivery(t, sub)
+	if m.Seq != 1 {
+		t.Fatalf("live delivery seq %d, want 1", m.Seq)
+	}
+	pub.Close()
+
+	// Broker process dies without acks. The record survives in the log dir.
+	s1.Close()
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same address and directory. NewServerOptions runs
+	// durable recovery, so the subscription matches again before any client
+	// reattaches.
+	s2, _, store2 := func() (*Server, string, *publog.Store) {
+		store, err := publog.Open(dir, publog.Options{SyncAppend: true, NoFsync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := broker.Config{ID: "b1", Durable: store}
+		s := NewServerOptions(cfg, nil, fastHeal())
+		if _, err := s.Listen(addr); err != nil {
+			t.Fatal(err)
+		}
+		return s, addr, store
+	}()
+	t.Cleanup(func() { s2.Close(); store2.Close() })
+
+	waitFor(t, func() bool { return sub.Reconnects.Load() >= 1 })
+	// The client's replayed record reattaches the durable name; seq 1 was
+	// never acked, so the reconnect replays it — a duplicate across the
+	// reconnect boundary, exactly what at-least-once promises.
+	seqs := expectReplayOverWire(t, sub, 1, 1)
+	if len(seqs) != 1 || seqs[0] != 1 {
+		t.Fatalf("post-restart replay delivered %v, want [1]", seqs)
+	}
+
+	// New publications continue the recovered sequence.
+	pub2, err := Dial(addr, "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub2.Close()
+	if err := pub2.Send(&broker.Message{Type: broker.MsgPublish, Pub: xmldoc.Publication{DocID: 2, Path: []string{"a"}}}); err != nil {
+		t.Fatal(err)
+	}
+	m = nextDelivery(t, sub)
+	if m.Seq != 2 || m.Pub.DocID != 2 {
+		t.Fatalf("post-restart live delivery seq %d doc %d, want 2/2", m.Seq, m.Pub.DocID)
+	}
+}
+
+// TestAckFromNonDurableClientRejected pins the client-side guard.
+func TestAckFromNonDurableClientRejected(t *testing.T) {
+	s, addr, store := startDurableEdge(t, t.TempDir())
+	t.Cleanup(func() { s.Close(); store.Close() })
+	c, err := Dial(addr, "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ack(1); err == nil {
+		t.Fatal("Ack succeeded on a client with no durable name")
+	}
+}

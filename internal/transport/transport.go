@@ -362,6 +362,12 @@ func NewServerOptions(cfg broker.Config, neighbors map[string]string, opts Optio
 	for id := range neighbors {
 		s.b.AddNeighbor(id)
 	}
+	// Durable subscriptions recovered from the publication log re-register
+	// through the normal subscribe path, which forwards upstream — hence
+	// after the neighbour links exist and before any traffic.
+	if cfg.Durable != nil {
+		s.b.RecoverDurable()
+	}
 	for i := range s.pubQueues {
 		s.pubQueues[i] = make(chan pubTask, sendQueueDepth)
 	}
@@ -802,6 +808,21 @@ type ClientOptions struct {
 	// or WireGob. The broker may still negotiate a binary offer down to
 	// gob; WireGob skips the offer entirely (legacy handshake).
 	Wire string
+	// Durable names a durable subscription on the edge broker. When set,
+	// subscriptions sent through this client register under that name:
+	// matched publications are sequenced and logged broker-side, and on
+	// every (re)attach the broker replays the gap above the acknowledged
+	// cursor. Deliveries then carry Durable and Seq, and the client (or
+	// AutoAck) acknowledges them to advance the cursor.
+	Durable string
+	// AutoAck acknowledges each durable delivery as soon as it has been
+	// handed to the Deliveries channel. Leave false to ack explicitly via
+	// Ack after processing — the at-least-once window is then bounded by
+	// the application, not the channel.
+	AutoAck bool
+	// OnAck, when set, observes every acknowledgement this client sends
+	// (auto or explicit) after it has been queued to the broker.
+	OnAck func(seq uint64)
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -934,6 +955,9 @@ func (c *Client) readLoop(conn net.Conn, fr frameReader) {
 				goto redial
 			}
 			c.Deliveries <- &m
+			if c.opts.AutoAck && m.Type == broker.MsgPublish && m.Durable != "" {
+				c.Ack(m.Seq)
+			}
 		}
 	redial:
 		conn.Close()
@@ -1000,9 +1024,11 @@ func (c *Client) redial() (net.Conn, frameReader) {
 
 // recordControl maintains the replayable control state under c.mu:
 // withdrawals cancel the matching prior message instead of being recorded.
+// Replaying a recorded durable subscription doubles as reattach: the broker
+// responds with the unacknowledged gap bracketed in replay markers.
 func (c *Client) recordControl(m *broker.Message) {
 	switch m.Type {
-	case broker.MsgSubscribe, broker.MsgAdvertise:
+	case broker.MsgSubscribe, broker.MsgAdvertise, broker.MsgSubscribeDurable:
 		c.record = append(c.record, m)
 	case broker.MsgUnsubscribe:
 		c.dropRecord(func(r *broker.Message) bool {
@@ -1034,6 +1060,11 @@ func (c *Client) Send(m *broker.Message) error {
 	if m.Type == broker.MsgPublish && m.Stamp == 0 {
 		m.Stamp = time.Now().UnixNano()
 	}
+	// A durable client's subscriptions register under its durable name.
+	if c.opts.Durable != "" && m.Type == broker.MsgSubscribe {
+		m.Type = broker.MsgSubscribeDurable
+		m.Durable = c.opts.Durable
+	}
 	if c.opts.Reconnect {
 		c.recordControl(m)
 	}
@@ -1044,6 +1075,22 @@ func (c *Client) Send(m *broker.Message) error {
 		return fmt.Errorf("transport: send: %w", err)
 	}
 	return nil
+}
+
+// Ack acknowledges every durable delivery up to and including seq,
+// advancing the broker-side cursor. With reconnection enabled an ack that
+// hits a dead connection is silently dropped — the cursor simply advances
+// less far and the next reattach replays a little more, which
+// at-least-once delivery permits.
+func (c *Client) Ack(seq uint64) error {
+	if c.opts.Durable == "" {
+		return errors.New("transport: Ack on a non-durable client")
+	}
+	err := c.Send(&broker.Message{Type: broker.MsgAck, Durable: c.opts.Durable, Seq: seq})
+	if c.opts.OnAck != nil {
+		c.opts.OnAck(seq)
+	}
+	return err
 }
 
 // Close drops the connection and stops any reconnection.

@@ -66,9 +66,25 @@ func checkWire(m *broker.Message) error {
 		return checkWireResync(m.Resync)
 	case broker.MsgHeartbeat:
 		return nil
+	case broker.MsgSubscribeDurable:
+		if err := checkWireDurable(m.Durable); err != nil {
+			return err
+		}
+		return checkWireXPE(m.XPE)
+	case broker.MsgAck, broker.MsgReplayBegin, broker.MsgReplayEnd:
+		return checkWireDurable(m.Durable)
 	default:
 		return fmt.Errorf("unknown message type %d", uint8(m.Type))
 	}
+}
+
+// checkWireDurable validates a durable subscription name where one is
+// mandatory (subscribe-durable, ack, replay markers).
+func checkWireDurable(name string) error {
+	if name == "" || len(name) > maxWireName {
+		return fmt.Errorf("durable name of %d bytes", len(name))
+	}
+	return nil
 }
 
 func checkWireXPE(x *xpath.XPE) error {
@@ -138,6 +154,11 @@ func checkWireAdvItems(items []advert.Item, depth int) (int, error) {
 func checkWirePublish(m *broker.Message) error {
 	if len(m.TraceID) > maxWireName {
 		return fmt.Errorf("trace id of %d bytes", len(m.TraceID))
+	}
+	// Durable is optional on publications (set only on deliveries to a
+	// durable subscriber), so only its length is bounded here.
+	if len(m.Durable) > maxWireName {
+		return fmt.Errorf("durable name of %d bytes exceeds %d", len(m.Durable), maxWireName)
 	}
 	if len(m.Hops) > maxWireHops {
 		return fmt.Errorf("publication carrying %d hops exceeds %d", len(m.Hops), maxWireHops)

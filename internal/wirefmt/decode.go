@@ -295,6 +295,18 @@ func (d *Decoder) message(m *broker.Message) error {
 		return err
 	case broker.MsgHeartbeat:
 		return nil
+	case broker.MsgSubscribeDurable:
+		if m.Durable, err = d.durName(); err != nil {
+			return err
+		}
+		m.XPE, err = d.xpe()
+		return err
+	case broker.MsgAck, broker.MsgReplayBegin, broker.MsgReplayEnd:
+		if m.Durable, err = d.durName(); err != nil {
+			return err
+		}
+		m.Seq, err = d.u()
+		return err
 	default:
 		return fmt.Errorf("wirefmt: unknown message type %d", t)
 	}
@@ -310,6 +322,19 @@ func (d *Decoder) advID() (string, error) {
 		return "", fmt.Errorf("wirefmt: empty advertisement id")
 	}
 	return id, nil
+}
+
+// durName is a dictionary symbol naming a durable subscription; it may
+// never be empty where it appears.
+func (d *Decoder) durName() (string, error) {
+	name, err := d.sym()
+	if err != nil {
+		return "", err
+	}
+	if name == "" {
+		return "", fmt.Errorf("wirefmt: empty durable name")
+	}
+	return name, nil
 }
 
 func (d *Decoder) xpe() (*xpath.XPE, error) {
@@ -514,6 +539,14 @@ func (d *Decoder) publish(m *broker.Message, path []string, attrs []map[string]s
 		}
 		if nh > 0 {
 			m.Hops = hops
+		}
+	}
+	if flags&pubFlagDurable != 0 {
+		if m.Durable, err = d.durName(); err != nil {
+			return err
+		}
+		if m.Seq, err = d.u(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -240,6 +240,23 @@ func (e *Encoder) message(m *broker.Message) error {
 		return e.resync(m.Resync)
 	case broker.MsgHeartbeat:
 		return nil
+	case broker.MsgSubscribeDurable:
+		if m.Durable == "" {
+			return fmt.Errorf("wirefmt: durable subscription without a name")
+		}
+		if err := e.sym(m.Durable); err != nil {
+			return err
+		}
+		return e.xpe(m.XPE)
+	case broker.MsgAck, broker.MsgReplayBegin, broker.MsgReplayEnd:
+		if m.Durable == "" {
+			return fmt.Errorf("wirefmt: %s without a durable name", m.Type)
+		}
+		if err := e.sym(m.Durable); err != nil {
+			return err
+		}
+		e.u(m.Seq)
+		return nil
 	default:
 		return fmt.Errorf("wirefmt: unknown message type %d", uint8(m.Type))
 	}
@@ -314,6 +331,9 @@ func (e *Encoder) publish(m *broker.Message) error {
 	if len(m.Pub.Attrs) > 0 {
 		flags |= pubFlagAttrs
 	}
+	if m.Durable != "" {
+		flags |= pubFlagDurable
+	}
 	if flags&pubFlagDoc != 0 && flags&pubFlagRaw != 0 {
 		return fmt.Errorf("wirefmt: publication carrying both raw and parsed document")
 	}
@@ -378,6 +398,12 @@ func (e *Encoder) publish(m *broker.Message) error {
 				return err
 			}
 		}
+	}
+	if flags&pubFlagDurable != 0 {
+		if err := e.sym(m.Durable); err != nil {
+			return err
+		}
+		e.u(m.Seq)
 	}
 	return nil
 }

@@ -38,6 +38,10 @@ func EstimateSize(m *broker.Message) int {
 				n += xpeSize(x)
 			}
 		}
+	case broker.MsgSubscribeDurable:
+		n += symCost + xpeSize(m.XPE)
+	case broker.MsgAck, broker.MsgReplayBegin, broker.MsgReplayEnd:
+		n += symCost + uvSize(m.Seq)
 	}
 	return n
 }
@@ -70,6 +74,9 @@ func pubSize(m *broker.Message) int {
 				n += symCost + svSize(sd.Nanos)
 			}
 		}
+	}
+	if m.Durable != "" {
+		n += symCost + uvSize(m.Seq)
 	}
 	return n
 }

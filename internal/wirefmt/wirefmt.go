@@ -119,10 +119,11 @@ var DefaultLimits = Limits{
 
 // publish-frame flag bits.
 const (
-	pubFlagDoc   byte = 1 << 0 // carries a parsed whole document
-	pubFlagRaw   byte = 1 << 1 // carries a raw-XML body
-	pubFlagTrace byte = 1 << 2 // carries TraceID and hop list
-	pubFlagAttrs byte = 1 << 3 // carries per-element attribute maps
+	pubFlagDoc     byte = 1 << 0 // carries a parsed whole document
+	pubFlagRaw     byte = 1 << 1 // carries a raw-XML body
+	pubFlagTrace   byte = 1 << 2 // carries TraceID and hop list
+	pubFlagAttrs   byte = 1 << 3 // carries per-element attribute maps
+	pubFlagDurable byte = 1 << 4 // carries a durable name and sequence
 )
 
 // xpe-record flag bits.
